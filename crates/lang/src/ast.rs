@@ -1,0 +1,355 @@
+//! The Phage-C abstract syntax tree.
+
+use crate::span::Span;
+use crate::types::Type;
+
+/// A complete Phage-C program (one "application" in Code Phage terms).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Global variable definitions.
+    pub globals: Vec<GlobalDef>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a function by name, mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Looks up a struct definition by name.
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+}
+
+/// A top-level item (used by the parser before items are grouped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A struct definition.
+    Struct(StructDef),
+    /// A global variable definition.
+    Global(GlobalDef),
+    /// A function definition.
+    Function(Function),
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Ordered field declarations.
+    pub fields: Vec<(String, Type)>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A global variable with a constant initial value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDef {
+    /// Global name.
+    pub name: String,
+    /// Declared type (must be an integer type).
+    pub ty: Type,
+    /// Initial value.
+    pub init: u64,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Return type, if any.
+    pub ret: Option<Type>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// A statement, with the program-point identifier assigned by semantic
+/// analysis.  Code Phage identifies candidate insertion points as "after
+/// statement `id` of function `f`".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// The statement itself.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+    /// Program-point identifier, unique within the enclosing function and
+    /// assigned in pre-order by [`crate::sema::analyze`].  Zero before
+    /// analysis.
+    pub id: usize,
+}
+
+impl Stmt {
+    /// Creates a statement with an unassigned id.
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span, id: 0 }
+    }
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `var name: ty = init;`
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initialiser.
+        init: Option<Expr>,
+    },
+    /// `target = value;`
+    Assign {
+        /// Assignment target (an lvalue expression).
+        target: Expr,
+        /// Value to store.
+        value: Expr,
+    },
+    /// `if (cond) { ... } else { ... }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_block: Vec<Stmt>,
+        /// Optional else branch.
+        else_block: Option<Vec<Stmt>>,
+    },
+    /// `while (cond) { ... }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr;` / `return;`
+    Return(Option<Expr>),
+    /// `exit(expr);` — terminate the program with the given status.
+    Exit(Expr),
+    /// An expression evaluated for its side effects (a call).
+    Expr(Expr),
+}
+
+/// An expression, annotated with its type after semantic analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// The expression itself.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+    /// Type, filled in by [`crate::sema::analyze`].
+    pub ty: Option<Type>,
+}
+
+impl Expr {
+    /// Creates an expression with an unassigned type.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr {
+            kind,
+            span,
+            ty: None,
+        }
+    }
+
+    /// The type of the expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before semantic analysis.
+    pub fn ty(&self) -> &Type {
+        self.ty.as_ref().expect("expression not type-checked")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Bitwise complement `~x`.
+    Not,
+    /// Logical negation `!x`.
+    LogicalNot,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogicalAnd,
+    /// `||` (short-circuit)
+    LogicalOr,
+}
+
+impl BinaryOp {
+    /// Whether the operator is a comparison producing a boolean value.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// Whether the operator is a short-circuit logical operator.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinaryOp::LogicalAnd | BinaryOp::LogicalOr)
+    }
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(u64),
+    /// Variable reference (local, parameter or global).
+    Var(String),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `expr as ty`
+    Cast {
+        /// Value being cast.
+        expr: Box<Expr>,
+        /// Target type.
+        ty: Type,
+    },
+    /// Function or intrinsic call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Field access `base.field`; the base may be a struct value or a pointer
+    /// to a struct (one level of auto-dereference, like C's `->`).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+    },
+    /// Index `base[index]` where `base` is a pointer.
+    Index {
+        /// Base pointer expression.
+        base: Box<Expr>,
+        /// Element index.
+        index: Box<Expr>,
+    },
+    /// Pointer dereference `*expr`.
+    Deref(Box<Expr>),
+    /// Address-of `&lvalue`.
+    AddrOf(Box<Expr>),
+    /// `sizeof(ty)`
+    Sizeof(Type),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_lookup_helpers() {
+        let mut program = Program::default();
+        program.functions.push(Function {
+            name: "main".into(),
+            params: vec![],
+            ret: None,
+            body: vec![],
+            span: Span::default(),
+        });
+        program.structs.push(StructDef {
+            name: "S".into(),
+            fields: vec![("x".into(), Type::U32)],
+            span: Span::default(),
+        });
+        assert!(program.function("main").is_some());
+        assert!(program.function("missing").is_none());
+        assert!(program.struct_def("S").is_some());
+        assert!(program.function_mut("main").is_some());
+    }
+
+    #[test]
+    fn operator_classification() {
+        assert!(BinaryOp::Le.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+        assert!(BinaryOp::LogicalAnd.is_logical());
+        assert!(!BinaryOp::Or.is_logical());
+    }
+
+    #[test]
+    #[should_panic(expected = "not type-checked")]
+    fn ty_panics_before_analysis() {
+        let e = Expr::new(ExprKind::Int(1), Span::default());
+        let _ = e.ty();
+    }
+}

@@ -1,0 +1,284 @@
+//! Source-level patches.
+//!
+//! Code Phage's output is a source patch: an `if` statement inserted at a
+//! candidate insertion point whose condition is the translated check and whose
+//! body either exits the application before the error can occur (the default,
+//! as in the paper's examples) or returns zero from the enclosing function
+//! (the alternate strategy the paper describes for the Wireshark divide-by-zero
+//! errors, Section 4.5).
+
+use crate::ast::{Expr, ExprKind, Function, Program, Stmt, StmtKind};
+use crate::parser::parse_expr_text;
+use crate::span::Span;
+use crate::{LangError, Result};
+
+/// What the inserted guard does when the check fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchAction {
+    /// `exit(status);` — reject the input before the error occurs.
+    Exit(u32),
+    /// `return 0;` (or `return;` in a void function) — the paper's alternate
+    /// strategy for divide-by-zero errors, which often enables the application
+    /// to continue executing productively.
+    ReturnZero,
+}
+
+/// A source-level patch: "insert `if (guard) { action }` after statement
+/// `after_stmt` of `function`".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Patch {
+    /// Name of the recipient function receiving the check.
+    pub function: String,
+    /// Program-point id (statement id) after which the guard is inserted.
+    pub after_stmt: usize,
+    /// The guard condition as Phage-C source text.  The guard evaluates to
+    /// non-zero exactly when the input should be rejected.
+    pub guard: String,
+    /// What to do when the guard fires.
+    pub action: PatchAction,
+}
+
+impl Patch {
+    /// Creates an exit-style patch (the default strategy in the paper).
+    pub fn exit(function: impl Into<String>, after_stmt: usize, guard: impl Into<String>) -> Self {
+        Patch {
+            function: function.into(),
+            after_stmt,
+            guard: guard.into(),
+            action: PatchAction::Exit(1),
+        }
+    }
+
+    /// Renders the inserted statement as source text, e.g.
+    /// `if (!((a * b) <= 536870911)) { exit(1); }`.
+    pub fn render(&self) -> String {
+        match self.action {
+            PatchAction::Exit(status) => format!("if ({}) {{ exit({status}); }}", self.guard),
+            PatchAction::ReturnZero => format!("if ({}) {{ return 0; }}", self.guard),
+        }
+    }
+
+    /// Applies the patch to a program, returning the patched AST.
+    ///
+    /// The returned program must be re-analyzed and recompiled — exactly the
+    /// "recompile the patched recipient" step of the paper's validation phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LangError`] if the target function or statement does not
+    /// exist or the guard does not parse.
+    pub fn apply(&self, program: &Program) -> Result<Program> {
+        let guard = parse_expr_text(&self.guard)?;
+        let mut patched = program.clone();
+        let function = patched.function_mut(&self.function).ok_or_else(|| {
+            LangError::general(format!("patch target function `{}` not found", self.function))
+        })?;
+        let returns_value = function.ret.is_some();
+        let body = guard_body(self.action, returns_value);
+        let inserted = Stmt::new(
+            StmtKind::If {
+                cond: guard,
+                then_block: body,
+                else_block: None,
+            },
+            Span::default(),
+        );
+        if insert_after(&mut function.body, self.after_stmt, &inserted) {
+            Ok(patched)
+        } else {
+            Err(LangError::general(format!(
+                "statement {} not found in function `{}`",
+                self.after_stmt, self.function
+            )))
+        }
+    }
+}
+
+fn guard_body(action: PatchAction, returns_value: bool) -> Vec<Stmt> {
+    match action {
+        PatchAction::Exit(status) => vec![Stmt::new(
+            StmtKind::Exit(Expr::new(ExprKind::Int(status as u64), Span::default())),
+            Span::default(),
+        )],
+        PatchAction::ReturnZero => {
+            let value = if returns_value {
+                Some(Expr::new(ExprKind::Int(0), Span::default()))
+            } else {
+                None
+            };
+            vec![Stmt::new(StmtKind::Return(value), Span::default())]
+        }
+    }
+}
+
+/// Inserts `patch_stmt` immediately after the statement with id `after` inside
+/// `block` (searching nested blocks).  Returns whether the insertion happened.
+fn insert_after(block: &mut Vec<Stmt>, after: usize, patch_stmt: &Stmt) -> bool {
+    for index in 0..block.len() {
+        if block[index].id == after {
+            block.insert(index + 1, patch_stmt.clone());
+            return true;
+        }
+        match &mut block[index].kind {
+            StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                if insert_after(then_block, after, patch_stmt) {
+                    return true;
+                }
+                if let Some(else_block) = else_block {
+                    if insert_after(else_block, after, patch_stmt) {
+                        return true;
+                    }
+                }
+            }
+            StmtKind::While { body, .. } => {
+                if insert_after(body, after, patch_stmt) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Finds the statement with id `id` in a function body, if present.
+pub fn find_statement<'a>(function: &'a Function, id: usize) -> Option<&'a Stmt> {
+    fn walk<'a>(block: &'a [Stmt], id: usize) -> Option<&'a Stmt> {
+        for stmt in block {
+            if stmt.id == id {
+                return Some(stmt);
+            }
+            match &stmt.kind {
+                StmtKind::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    if let Some(found) = walk(then_block, id) {
+                        return Some(found);
+                    }
+                    if let Some(else_block) = else_block {
+                        if let Some(found) = walk(else_block, id) {
+                            return Some(found);
+                        }
+                    }
+                }
+                StmtKind::While { body, .. } => {
+                    if let Some(found) = walk(body, id) {
+                        return Some(found);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    walk(&function.body, id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+    use crate::pretty::print_program;
+
+    const RECIPIENT: &str = r#"
+        fn read_header() -> u32 {
+            var width: u16 = ((input_byte(0) as u16) << 8) | (input_byte(1) as u16);
+            var height: u16 = ((input_byte(2) as u16) << 8) | (input_byte(3) as u16);
+            var size: u32 = (width as u32) * (height as u32);
+            return size;
+        }
+        fn main() -> u32 {
+            var size: u32 = read_header();
+            output(size as u64);
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn applies_exit_patch_after_statement() {
+        let analyzed = frontend(RECIPIENT).unwrap();
+        let patch = Patch::exit(
+            "read_header",
+            1,
+            "!(((width as u64) * (height as u64)) <= 536870911)",
+        );
+        let patched = patch.apply(&analyzed.program).unwrap();
+        // The patched program must re-analyze (recompile) cleanly.
+        let printed = print_program(&patched);
+        let reanalyzed = frontend(&printed).unwrap();
+        let f = reanalyzed.program.function("read_header").unwrap();
+        // One more statement than the original.
+        assert_eq!(
+            reanalyzed.debug.functions["read_header"].num_statements,
+            analyzed.debug.functions["read_header"].num_statements + 2
+        );
+        assert!(matches!(f.body[2].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn return_zero_patch_respects_void_functions() {
+        let source = r#"
+            fn process() {
+                var len: u16 = input_byte(0) as u16;
+                output(len as u64);
+            }
+            fn main() -> u32 {
+                process();
+                return 0;
+            }
+        "#;
+        let analyzed = frontend(source).unwrap();
+        let patch = Patch {
+            function: "process".into(),
+            after_stmt: 1,
+            guard: "len == 0".into(),
+            action: PatchAction::ReturnZero,
+        };
+        let patched = patch.apply(&analyzed.program).unwrap();
+        let printed = print_program(&patched);
+        frontend(&printed).expect("void return-zero patch must recompile");
+    }
+
+    #[test]
+    fn render_matches_paper_shape() {
+        let patch = Patch::exit("f", 3, "!((a * b) <= 536870911)");
+        assert_eq!(patch.render(), "if (!((a * b) <= 536870911)) { exit(1); }");
+    }
+
+    #[test]
+    fn missing_function_or_statement_is_an_error() {
+        let analyzed = frontend(RECIPIENT).unwrap();
+        assert!(Patch::exit("nope", 0, "1").apply(&analyzed.program).is_err());
+        assert!(Patch::exit("read_header", 999, "1")
+            .apply(&analyzed.program)
+            .is_err());
+    }
+
+    #[test]
+    fn find_statement_searches_nested_blocks() {
+        let analyzed = frontend(
+            r#"
+            fn main() -> u32 {
+                var x: u32 = 0;
+                while (x < 10) {
+                    if (x == 5) {
+                        x = 100;
+                    }
+                    x = x + 1;
+                }
+                return x;
+            }
+        "#,
+        )
+        .unwrap();
+        let main = analyzed.program.function("main").unwrap();
+        assert!(find_statement(main, 3).is_some());
+        assert!(find_statement(main, 42).is_none());
+    }
+}

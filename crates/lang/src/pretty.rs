@@ -1,0 +1,262 @@
+//! Pretty printer emitting re-parseable Phage-C source.
+//!
+//! Code Phage generates source-level patches and recompiles the recipient
+//! (paper Section 3.4).  The pretty printer is what turns a patched AST back
+//! into source text, both for recompilation and for presenting patches in the
+//! reports — the round trip `parse ∘ print` is checked by tests.
+
+use crate::ast::*;
+use crate::types::Type;
+use std::fmt::Write;
+
+/// Renders a whole program as source text.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for def in &program.structs {
+        let _ = writeln!(out, "struct {} {{", def.name);
+        for (name, ty) in &def.fields {
+            let _ = writeln!(out, "    {}: {},", name, print_type(ty));
+        }
+        let _ = writeln!(out, "}}");
+        out.push('\n');
+    }
+    for global in &program.globals {
+        let _ = writeln!(
+            out,
+            "global {}: {} = {};",
+            global.name,
+            print_type(&global.ty),
+            global.init
+        );
+    }
+    if !program.globals.is_empty() {
+        out.push('\n');
+    }
+    for function in &program.functions {
+        out.push_str(&print_function(function));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a single function definition.
+pub fn print_function(function: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = function
+        .params
+        .iter()
+        .map(|p| format!("{}: {}", p.name, print_type(&p.ty)))
+        .collect();
+    let ret = match &function.ret {
+        Some(ty) => format!(" -> {}", print_type(ty)),
+        None => String::new(),
+    };
+    let _ = writeln!(out, "fn {}({}){} {{", function.name, params.join(", "), ret);
+    for stmt in &function.body {
+        print_stmt(stmt, 1, &mut out);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a type.
+pub fn print_type(ty: &Type) -> String {
+    ty.to_string()
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+/// Renders one statement at the given indentation level.
+pub fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match &stmt.kind {
+        StmtKind::VarDecl { name, ty, init } => match init {
+            Some(init) => {
+                let _ = writeln!(out, "var {}: {} = {};", name, print_type(ty), print_expr(init));
+            }
+            None => {
+                let _ = writeln!(out, "var {}: {};", name, print_type(ty));
+            }
+        },
+        StmtKind::Assign { target, value } => {
+            let _ = writeln!(out, "{} = {};", print_expr(target), print_expr(value));
+        }
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            for inner in then_block {
+                print_stmt(inner, level + 1, out);
+            }
+            indent(level, out);
+            match else_block {
+                Some(else_block) => {
+                    let _ = writeln!(out, "}} else {{");
+                    for inner in else_block {
+                        print_stmt(inner, level + 1, out);
+                    }
+                    indent(level, out);
+                    let _ = writeln!(out, "}}");
+                }
+                None => {
+                    let _ = writeln!(out, "}}");
+                }
+            }
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", print_expr(cond));
+            for inner in body {
+                print_stmt(inner, level + 1, out);
+            }
+            indent(level, out);
+            let _ = writeln!(out, "}}");
+        }
+        StmtKind::Return(value) => match value {
+            Some(value) => {
+                let _ = writeln!(out, "return {};", print_expr(value));
+            }
+            None => {
+                let _ = writeln!(out, "return;");
+            }
+        },
+        StmtKind::Exit(code) => {
+            let _ = writeln!(out, "exit({});", print_expr(code));
+        }
+        StmtKind::Expr(expr) => {
+            let _ = writeln!(out, "{};", print_expr(expr));
+        }
+    }
+}
+
+/// Renders an expression.  Sub-expressions are parenthesised conservatively so
+/// the output re-parses with the same structure.
+pub fn print_expr(expr: &Expr) -> String {
+    match &expr.kind {
+        ExprKind::Int(value) => value.to_string(),
+        ExprKind::Var(name) => name.clone(),
+        ExprKind::Unary { op, expr } => {
+            let token = match op {
+                UnaryOp::Neg => "-",
+                UnaryOp::Not => "~",
+                UnaryOp::LogicalNot => "!",
+            };
+            format!("{token}({})", print_expr(expr))
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            let token = match op {
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+                BinaryOp::Mul => "*",
+                BinaryOp::Div => "/",
+                BinaryOp::Rem => "%",
+                BinaryOp::And => "&",
+                BinaryOp::Or => "|",
+                BinaryOp::Xor => "^",
+                BinaryOp::Shl => "<<",
+                BinaryOp::Shr => ">>",
+                BinaryOp::Eq => "==",
+                BinaryOp::Ne => "!=",
+                BinaryOp::Lt => "<",
+                BinaryOp::Le => "<=",
+                BinaryOp::Gt => ">",
+                BinaryOp::Ge => ">=",
+                BinaryOp::LogicalAnd => "&&",
+                BinaryOp::LogicalOr => "||",
+            };
+            format!("({} {} {})", print_expr(lhs), token, print_expr(rhs))
+        }
+        ExprKind::Cast { expr, ty } => format!("({} as {})", print_expr(expr), print_type(ty)),
+        ExprKind::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        ExprKind::Field { base, field } => format!("{}.{}", print_base(base), field),
+        ExprKind::Index { base, index } => {
+            format!("{}[{}]", print_base(base), print_expr(index))
+        }
+        ExprKind::Deref(inner) => format!("*({})", print_expr(inner)),
+        ExprKind::AddrOf(inner) => format!("&{}", print_base(inner)),
+        ExprKind::Sizeof(ty) => format!("sizeof({})", print_type(ty)),
+    }
+}
+
+/// Bases of postfix expressions only need parentheses when they are not
+/// themselves postfix or primary expressions.
+fn print_base(expr: &Expr) -> String {
+    match &expr.kind {
+        ExprKind::Var(_)
+        | ExprKind::Field { .. }
+        | ExprKind::Index { .. }
+        | ExprKind::Call { .. } => print_expr(expr),
+        _ => format!("({})", print_expr(expr)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{frontend, parse_program};
+
+    const SOURCE: &str = r#"
+        struct Image { width: u16, height: u16, data: ptr<u8>, }
+        global limit: u32 = 16384;
+        fn area(img: ptr<Image>) -> u64 {
+            var w: u64 = img.width as u64;
+            var h: u64 = img.height as u64;
+            if (w * h > 536870911) {
+                exit(1);
+            }
+            return w * h;
+        }
+        fn main() -> u32 {
+            var img: Image;
+            img.width = input_byte(0) as u16;
+            img.height = input_byte(1) as u16;
+            var a: u64 = area(&img);
+            output(a);
+            return a as u32;
+        }
+    "#;
+
+    #[test]
+    fn round_trips_through_the_parser() {
+        let program = parse_program(SOURCE).unwrap();
+        let printed = print_program(&program);
+        let reparsed = parse_program(&printed).expect("printed source must re-parse");
+        // Printing the re-parsed program must be a fixed point.
+        assert_eq!(print_program(&reparsed), printed);
+        assert_eq!(reparsed.functions.len(), program.functions.len());
+        assert_eq!(reparsed.structs.len(), program.structs.len());
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics_metadata() {
+        let original = frontend(SOURCE).unwrap();
+        let printed = print_program(&original.program);
+        let reparsed = frontend(&printed).unwrap();
+        assert_eq!(
+            original.debug.structs["Image"].size,
+            reparsed.debug.structs["Image"].size
+        );
+        assert_eq!(
+            original.debug.functions["main"].num_statements,
+            reparsed.debug.functions["main"].num_statements
+        );
+    }
+
+    #[test]
+    fn expressions_parenthesise_binary_operations() {
+        let program = parse_program("fn main() -> u32 { return 1 + 2 * 3; }").unwrap();
+        if let StmtKind::Return(Some(expr)) = &program.functions[0].body[0].kind {
+            assert_eq!(print_expr(expr), "(1 + (2 * 3))");
+        } else {
+            panic!("expected return statement");
+        }
+    }
+}

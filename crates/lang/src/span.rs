@@ -1,0 +1,64 @@
+//! Source locations.
+
+use std::fmt;
+
+/// A half-open byte range in the source text, with line/column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of the start.
+    pub line: u32,
+    /// 1-based column number of the start.
+    pub column: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    pub fn new(start: usize, end: usize, line: u32, column: u32) -> Self {
+        Span {
+            start,
+            end,
+            line,
+            column,
+        }
+    }
+
+    /// A span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line,
+            column: self.column,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_covers_both_spans() {
+        let a = Span::new(0, 5, 1, 1);
+        let b = Span::new(10, 12, 2, 3);
+        let joined = a.to(b);
+        assert_eq!(joined.start, 0);
+        assert_eq!(joined.end, 12);
+        assert_eq!(joined.line, 1);
+    }
+
+    #[test]
+    fn displays_line_and_column() {
+        assert_eq!(Span::new(0, 1, 3, 7).to_string(), "line 3, column 7");
+    }
+}

@@ -1,0 +1,162 @@
+//! The Phage-C type system.
+
+use std::fmt;
+
+/// A Phage-C type.
+///
+/// The language has fixed-width signed and unsigned integers, typed pointers
+/// and named struct types — the representation vocabulary the Code Phage data
+/// structure traversal (paper Figure 6) walks over.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Unsigned 8-bit integer.
+    U8,
+    /// Unsigned 16-bit integer.
+    U16,
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Unsigned 64-bit integer.
+    U64,
+    /// Signed 8-bit integer.
+    I8,
+    /// Signed 16-bit integer.
+    I16,
+    /// Signed 32-bit integer.
+    I32,
+    /// Signed 64-bit integer.
+    I64,
+    /// A pointer to another type.
+    Ptr(Box<Type>),
+    /// A named struct type.
+    Struct(String),
+}
+
+impl Type {
+    /// Whether the type is an integer type.
+    pub fn is_integer(&self) -> bool {
+        matches!(
+            self,
+            Type::U8
+                | Type::U16
+                | Type::U32
+                | Type::U64
+                | Type::I8
+                | Type::I16
+                | Type::I32
+                | Type::I64
+        )
+    }
+
+    /// Whether the type is a signed integer type.
+    pub fn is_signed(&self) -> bool {
+        matches!(self, Type::I8 | Type::I16 | Type::I32 | Type::I64)
+    }
+
+    /// Whether the type is a pointer type.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Bit width of integer and pointer types (pointers are 64-bit addresses).
+    ///
+    /// Returns `None` for struct types.
+    pub fn bits(&self) -> Option<u32> {
+        match self {
+            Type::U8 | Type::I8 => Some(8),
+            Type::U16 | Type::I16 => Some(16),
+            Type::U32 | Type::I32 => Some(32),
+            Type::U64 | Type::I64 | Type::Ptr(_) => Some(64),
+            Type::Struct(_) => None,
+        }
+    }
+
+    /// The pointee type for pointers.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(inner) => Some(inner),
+            _ => None,
+        }
+    }
+
+    /// The unsigned integer type of the same width, used when reasoning about
+    /// raw bit patterns (pointers map to [`Type::U64`]).
+    pub fn as_unsigned(&self) -> Option<Type> {
+        match self.bits()? {
+            8 => Some(Type::U8),
+            16 => Some(Type::U16),
+            32 => Some(Type::U32),
+            64 => Some(Type::U64),
+            _ => None,
+        }
+    }
+
+    /// Parses a primitive type name (not pointers or structs).
+    pub fn primitive_from_name(name: &str) -> Option<Type> {
+        match name {
+            "u8" => Some(Type::U8),
+            "u16" => Some(Type::U16),
+            "u32" => Some(Type::U32),
+            "u64" => Some(Type::U64),
+            "i8" => Some(Type::I8),
+            "i16" => Some(Type::I16),
+            "i32" => Some(Type::I32),
+            "i64" => Some(Type::I64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::U8 => write!(f, "u8"),
+            Type::U16 => write!(f, "u16"),
+            Type::U32 => write!(f, "u32"),
+            Type::U64 => write!(f, "u64"),
+            Type::I8 => write!(f, "i8"),
+            Type::I16 => write!(f, "i16"),
+            Type::I32 => write!(f, "i32"),
+            Type::I64 => write!(f, "i64"),
+            Type::Ptr(inner) => write!(f, "ptr<{inner}>"),
+            Type::Struct(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_of_integer_types() {
+        assert!(Type::U32.is_integer());
+        assert!(Type::I8.is_signed());
+        assert!(!Type::U64.is_signed());
+        assert!(!Type::Ptr(Box::new(Type::U8)).is_integer());
+        assert!(Type::Ptr(Box::new(Type::U8)).is_pointer());
+    }
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(Type::U16.bits(), Some(16));
+        assert_eq!(Type::I64.bits(), Some(64));
+        assert_eq!(Type::Ptr(Box::new(Type::U8)).bits(), Some(64));
+        assert_eq!(Type::Struct("S".into()).bits(), None);
+    }
+
+    #[test]
+    fn display_round_trips_primitive_names() {
+        for name in ["u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64"] {
+            let ty = Type::primitive_from_name(name).unwrap();
+            assert_eq!(ty.to_string(), name);
+        }
+        assert_eq!(Type::Ptr(Box::new(Type::U16)).to_string(), "ptr<u16>");
+    }
+
+    #[test]
+    fn as_unsigned_maps_by_width() {
+        assert_eq!(Type::I32.as_unsigned(), Some(Type::U32));
+        assert_eq!(Type::Ptr(Box::new(Type::U8)).as_unsigned(), Some(Type::U64));
+        assert_eq!(Type::Struct("S".into()).as_unsigned(), None);
+    }
+}

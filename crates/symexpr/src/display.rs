@@ -1,0 +1,82 @@
+//! Paper-style rendering of symbolic expressions.
+//!
+//! The paper prints excised checks in a prefix form such as
+//! `ULessEqual(32, Mul(64, ...), Constant(536870911))` with `HachField`
+//! leaves for dissected input fields.  [`paper_format`] reproduces that
+//! notation; it is used by the examples, the report generator and the Figure 8
+//! harness so the output of this reproduction reads like the paper's.
+
+use crate::expr::SymExpr;
+use std::fmt;
+
+/// Renders an expression in the paper's prefix notation.
+pub fn paper_format(expr: &SymExpr) -> String {
+    let mut out = String::new();
+    write_expr(expr, &mut out);
+    out
+}
+
+fn write_expr(expr: &SymExpr, out: &mut String) {
+    match expr {
+        SymExpr::Const { value, .. } => {
+            out.push_str(&format!("Constant({value})"));
+        }
+        SymExpr::InputByte { offset } => {
+            out.push_str(&format!("InputByte({offset})"));
+        }
+        SymExpr::Field { path, width, .. } => {
+            out.push_str(&format!("HachField({width},'{path}')"));
+        }
+        SymExpr::Unary { op, width, arg } => {
+            out.push_str(&format!("{}({width},", op.mnemonic()));
+            write_expr(arg, out);
+            out.push(')');
+        }
+        SymExpr::Binary { op, width, lhs, rhs } => {
+            out.push_str(&format!("{}({width},", op.mnemonic()));
+            write_expr(lhs, out);
+            out.push(',');
+            write_expr(rhs, out);
+            out.push(')');
+        }
+        SymExpr::Cast { kind, width, arg } => {
+            out.push_str(&format!("{}({width},", kind.mnemonic()));
+            write_expr(arg, out);
+            out.push(')');
+        }
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&paper_format(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{ExprBuild, SymExpr};
+    use crate::op::BinOp;
+    use crate::width::Width;
+
+    #[test]
+    fn renders_paper_like_prefix_notation() {
+        let height = SymExpr::field("/start_frame/content/height", Width::W16, vec![4, 5]);
+        let width_f = SymExpr::field("/start_frame/content/width", Width::W16, vec![6, 7]);
+        let check = height
+            .zext(Width::W64)
+            .binop(BinOp::Mul, width_f.zext(Width::W64))
+            .binop(BinOp::LeU, SymExpr::constant(Width::W64, 536870911));
+        let rendered = paper_format(&check);
+        assert!(rendered.starts_with("ULessEqual(8,Mul(64,"));
+        assert!(rendered.contains("HachField(16,'/start_frame/content/height')"));
+        assert!(rendered.contains("Constant(536870911)"));
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        let e = SymExpr::input_byte(3);
+        assert_eq!(e.to_string(), paper_format(&e));
+    }
+}

@@ -1,0 +1,237 @@
+//! Concrete evaluation of symbolic expressions.
+//!
+//! Evaluation is used in three places:
+//!
+//! * by the taint tracker as a consistency cross-check (the shadow expression
+//!   of a value must evaluate to the concrete value the VM computed),
+//! * by the solver's sampling-based refutation of equivalence queries, and
+//! * by patch validation when reasoning about what a transferred check would
+//!   decide for a concrete input.
+
+use crate::expr::SymExpr;
+use crate::op::{BinOp, CastKind, UnOp};
+use crate::width::Width;
+
+/// Provides concrete values for the tainted leaves of an expression.
+pub trait ByteEnv {
+    /// The value of the input byte at `offset`.
+    fn byte(&self, offset: usize) -> u8;
+}
+
+impl ByteEnv for [u8] {
+    fn byte(&self, offset: usize) -> u8 {
+        self.get(offset).copied().unwrap_or(0)
+    }
+}
+
+impl ByteEnv for Vec<u8> {
+    fn byte(&self, offset: usize) -> u8 {
+        self.as_slice().byte(offset)
+    }
+}
+
+impl<F: Fn(usize) -> u8> ByteEnv for F {
+    fn byte(&self, offset: usize) -> u8 {
+        self(offset)
+    }
+}
+
+/// Evaluates `expr` under the byte environment `env`.
+///
+/// The result is truncated to the expression's width.  Division by zero
+/// evaluates to the all-ones value of the result width and remainder by zero
+/// evaluates to the dividend, matching SMT-LIB bitvector semantics; the VM
+/// traps divide-by-zero before such a value could ever be observed in a run.
+pub fn eval<E: ByteEnv + ?Sized>(expr: &SymExpr, env: &E) -> u64 {
+    let width = expr.width();
+    let raw = match expr {
+        SymExpr::Const { value, .. } => *value,
+        SymExpr::InputByte { offset } => env.byte(*offset) as u64,
+        SymExpr::Field { width, offsets, .. } => {
+            // Fields are stored big-endian in the input (most significant
+            // offset first), mirroring the synthetic formats.
+            let mut v: u64 = 0;
+            for &off in offsets {
+                v = (v << 8) | env.byte(off) as u64;
+            }
+            width.truncate(v)
+        }
+        SymExpr::Unary { op, width, arg } => {
+            let a = eval(arg.as_ref(), env);
+            match op {
+                UnOp::Neg => width.truncate((width.truncate(a)).wrapping_neg()),
+                UnOp::Not => width.truncate(!a),
+                UnOp::LogicalNot => {
+                    if a == 0 {
+                        1
+                    } else {
+                        0
+                    }
+                }
+            }
+        }
+        SymExpr::Binary { op, width, lhs, rhs } => {
+            let operand_width = if op.is_comparison() { lhs.width() } else { *width };
+            let a = operand_width.truncate(eval(lhs.as_ref(), env));
+            let b = operand_width.truncate(eval(rhs.as_ref(), env));
+            eval_binop(*op, operand_width, a, b)
+        }
+        SymExpr::Cast { kind, width, arg } => {
+            let a = eval(arg.as_ref(), env);
+            let from = arg.width();
+            match kind {
+                CastKind::ZeroExt => width.truncate(from.truncate(a)),
+                CastKind::SignExt => width.truncate(from.sign_extend(a)),
+                CastKind::Truncate => width.truncate(a),
+            }
+        }
+    };
+    width.truncate(raw)
+}
+
+/// Applies a binary operator to two concrete operands of width `width`.
+pub fn eval_binop(op: BinOp, width: Width, a: u64, b: u64) -> u64 {
+    let bits = width.bits() as u64;
+    let result = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::DivU => {
+            if b == 0 {
+                width.mask()
+            } else {
+                a / b
+            }
+        }
+        BinOp::DivS => {
+            if b == 0 {
+                width.mask()
+            } else {
+                let sa = width.sign_extend(a) as i64;
+                let sb = width.sign_extend(b) as i64;
+                sa.wrapping_div(sb) as u64
+            }
+        }
+        BinOp::RemU => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        BinOp::RemS => {
+            if b == 0 {
+                a
+            } else {
+                let sa = width.sign_extend(a) as i64;
+                let sb = width.sign_extend(b) as i64;
+                sa.wrapping_rem(sb) as u64
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            if b >= bits {
+                0
+            } else {
+                a << b
+            }
+        }
+        BinOp::ShrU => {
+            if b >= bits {
+                0
+            } else {
+                a >> b
+            }
+        }
+        BinOp::ShrS => {
+            let sa = width.sign_extend(a) as i64;
+            let shift = b.min(63);
+            (sa >> shift) as u64
+        }
+        BinOp::Eq => (a == b) as u64,
+        BinOp::Ne => (a != b) as u64,
+        BinOp::LtU => (a < b) as u64,
+        BinOp::LeU => (a <= b) as u64,
+        BinOp::LtS => ((width.sign_extend(a) as i64) < (width.sign_extend(b) as i64)) as u64,
+        BinOp::LeS => ((width.sign_extend(a) as i64) <= (width.sign_extend(b) as i64)) as u64,
+    };
+    width.truncate(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{ExprBuild, SymExpr};
+
+    fn env(bytes: &[u8]) -> Vec<u8> {
+        bytes.to_vec()
+    }
+
+    #[test]
+    fn evaluates_big_endian_field_reconstruction() {
+        // (b0 << 8) | b1 over 16 bits.
+        let hi = SymExpr::input_byte(0).zext(Width::W16);
+        let lo = SymExpr::input_byte(1).zext(Width::W16);
+        let field = hi
+            .binop(BinOp::Shl, SymExpr::constant(Width::W16, 8))
+            .binop(BinOp::Or, lo);
+        let input = env(&[0x12, 0x34]);
+        assert_eq!(eval(&field, &input), 0x1234);
+    }
+
+    #[test]
+    fn field_leaf_evaluates_big_endian() {
+        let f = SymExpr::field("/hdr/width", Width::W16, vec![2, 3]);
+        let input = env(&[0, 0, 0xAB, 0xCD]);
+        assert_eq!(eval(&f, &input), 0xABCD);
+    }
+
+    #[test]
+    fn wrapping_multiplication_overflows_at_width() {
+        let a = SymExpr::constant(Width::W32, 0x10000);
+        let b = SymExpr::constant(Width::W32, 0x10000);
+        let product = a.binop(BinOp::Mul, b);
+        assert_eq!(eval(&product, &env(&[])), 0);
+    }
+
+    #[test]
+    fn signed_comparison_uses_operand_width() {
+        let a = SymExpr::constant(Width::W8, 0xFF); // -1 as i8
+        let b = SymExpr::constant(Width::W8, 0x01);
+        let cmp = a.binop(BinOp::LtS, b);
+        assert_eq!(eval(&cmp, &env(&[])), 1);
+        let cmp_u = SymExpr::constant(Width::W8, 0xFF).binop(BinOp::LtU, SymExpr::constant(Width::W8, 1));
+        assert_eq!(eval(&cmp_u, &env(&[])), 0);
+    }
+
+    #[test]
+    fn division_by_zero_is_all_ones() {
+        let a = SymExpr::constant(Width::W16, 7);
+        let z = SymExpr::constant(Width::W16, 0);
+        assert_eq!(eval(&a.binop(BinOp::DivU, z), &env(&[])), 0xFFFF);
+    }
+
+    #[test]
+    fn shift_by_width_or_more_is_zero() {
+        let a = SymExpr::constant(Width::W32, 0xFFFF_FFFF);
+        let s = SymExpr::constant(Width::W32, 32);
+        assert_eq!(eval(&a.binop(BinOp::Shl, s.clone()), &env(&[])), 0);
+        assert_eq!(eval(&a.binop(BinOp::ShrU, s), &env(&[])), 0);
+    }
+
+    #[test]
+    fn sign_extension_then_truncation_round_trips_low_bits() {
+        let b = SymExpr::input_byte(0).sext(Width::W32).truncate(Width::W8);
+        assert_eq!(eval(&b, &env(&[0x80])), 0x80);
+    }
+
+    #[test]
+    fn logical_not_produces_zero_one() {
+        let z = SymExpr::constant(Width::W32, 0).unop(UnOp::LogicalNot);
+        let nz = SymExpr::constant(Width::W32, 17).unop(UnOp::LogicalNot);
+        assert_eq!(eval(&z, &env(&[])), 1);
+        assert_eq!(eval(&nz, &env(&[])), 0);
+    }
+}

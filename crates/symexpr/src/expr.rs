@@ -1,0 +1,285 @@
+//! The symbolic expression tree.
+
+use crate::op::{BinOp, CastKind, UnOp};
+use crate::width::Width;
+use std::sync::Arc;
+
+/// A shared reference to a [`SymExpr`].
+///
+/// Expressions are built during instrumented execution where the same
+/// sub-expression (e.g. a parsed header field) flows into many downstream
+/// values, so structural sharing keeps shadow state compact.
+pub type ExprRef = Arc<SymExpr>;
+
+/// A symbolic bitvector expression over input bytes and constants.
+///
+/// This is Code Phage's application-independent representation: it records how
+/// an application computes a value from the bytes of its input, independent of
+/// the application's own variable names and data structures (paper Section 3.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SymExpr {
+    /// A constant of the given width.
+    Const {
+        /// Width of the constant.
+        width: Width,
+        /// Value, truncated to `width`.
+        value: u64,
+    },
+    /// A single tainted input byte (width 8).
+    InputByte {
+        /// Byte offset within the input.
+        offset: usize,
+    },
+    /// A named input field, as resolved by the input-format dissector
+    /// (the paper's `HachField(16, '/start_frame/content/height')` leaves).
+    ///
+    /// Fields are introduced by folding byte-level reads once a format
+    /// descriptor is available; the raw byte offsets are retained so that
+    /// equivalence checking can still reason at byte granularity.
+    Field {
+        /// Hierarchical field path, e.g. `/sof/height`.
+        path: String,
+        /// Width of the field value.
+        width: Width,
+        /// Input byte offsets covered by the field (most significant first
+        /// for big-endian fields).
+        offsets: Vec<usize>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Result width.
+        width: Width,
+        /// Operand.
+        arg: ExprRef,
+    },
+    /// A binary operation.  Both operands have the same width as the result,
+    /// except shifts whose right operand is interpreted as a shift amount.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Result width.
+        width: Width,
+        /// Left operand.
+        lhs: ExprRef,
+        /// Right operand.
+        rhs: ExprRef,
+    },
+    /// A width-changing cast.
+    Cast {
+        /// Kind of cast.
+        kind: CastKind,
+        /// Result width.
+        width: Width,
+        /// Operand.
+        arg: ExprRef,
+    },
+}
+
+impl SymExpr {
+    /// Creates a constant expression.
+    pub fn constant(width: Width, value: u64) -> ExprRef {
+        Arc::new(SymExpr::Const {
+            width,
+            value: width.truncate(value),
+        })
+    }
+
+    /// Creates an input-byte leaf.
+    pub fn input_byte(offset: usize) -> ExprRef {
+        Arc::new(SymExpr::InputByte { offset })
+    }
+
+    /// Creates a named-field leaf.
+    pub fn field(path: impl Into<String>, width: Width, offsets: Vec<usize>) -> ExprRef {
+        Arc::new(SymExpr::Field {
+            path: path.into(),
+            width,
+            offsets,
+        })
+    }
+
+    /// The width of the value this expression denotes.
+    pub fn width(&self) -> Width {
+        match self {
+            SymExpr::Const { width, .. } => *width,
+            SymExpr::InputByte { .. } => Width::W8,
+            SymExpr::Field { width, .. } => *width,
+            SymExpr::Unary { width, .. } => *width,
+            SymExpr::Binary { width, .. } => *width,
+            SymExpr::Cast { width, .. } => *width,
+        }
+    }
+
+    /// Returns the constant value if this expression is a constant.
+    pub fn as_const(&self) -> Option<u64> {
+        match self {
+            SymExpr::Const { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Whether the expression contains any tainted leaf (input byte or field).
+    pub fn is_tainted(&self) -> bool {
+        match self {
+            SymExpr::Const { .. } => false,
+            SymExpr::InputByte { .. } | SymExpr::Field { .. } => true,
+            SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => arg.is_tainted(),
+            SymExpr::Binary { lhs, rhs, .. } => lhs.is_tainted() || rhs.is_tainted(),
+        }
+    }
+
+    /// Number of nodes in the tree (used to bound solver work).
+    pub fn node_count(&self) -> usize {
+        match self {
+            SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => 1,
+            SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => 1 + arg.node_count(),
+            SymExpr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
+        }
+    }
+}
+
+/// Fluent construction helpers on shared expression references.
+pub trait ExprBuild {
+    /// Builds a binary operation with this expression as the left operand.
+    /// The result width is the width of the left operand.
+    fn binop(&self, op: BinOp, rhs: ExprRef) -> ExprRef;
+    /// Builds a binary operation with an explicit result width.
+    fn binop_w(&self, op: BinOp, width: Width, rhs: ExprRef) -> ExprRef;
+    /// Builds a unary operation.
+    fn unop(&self, op: UnOp) -> ExprRef;
+    /// Zero-extends (or returns unchanged if already at the target width).
+    fn zext(&self, width: Width) -> ExprRef;
+    /// Sign-extends (or returns unchanged if already at the target width).
+    fn sext(&self, width: Width) -> ExprRef;
+    /// Truncates (or returns unchanged if already at the target width).
+    fn truncate(&self, width: Width) -> ExprRef;
+}
+
+impl ExprBuild for ExprRef {
+    fn binop(&self, op: BinOp, rhs: ExprRef) -> ExprRef {
+        let width = if op.is_comparison() {
+            Width::W8
+        } else {
+            self.width()
+        };
+        Arc::new(SymExpr::Binary {
+            op,
+            width,
+            lhs: self.clone(),
+            rhs,
+        })
+    }
+
+    fn binop_w(&self, op: BinOp, width: Width, rhs: ExprRef) -> ExprRef {
+        Arc::new(SymExpr::Binary {
+            op,
+            width,
+            lhs: self.clone(),
+            rhs,
+        })
+    }
+
+    fn unop(&self, op: UnOp) -> ExprRef {
+        let width = if op == UnOp::LogicalNot {
+            Width::W8
+        } else {
+            self.width()
+        };
+        Arc::new(SymExpr::Unary {
+            op,
+            width,
+            arg: self.clone(),
+        })
+    }
+
+    fn zext(&self, width: Width) -> ExprRef {
+        if self.width() == width {
+            return self.clone();
+        }
+        Arc::new(SymExpr::Cast {
+            kind: CastKind::ZeroExt,
+            width,
+            arg: self.clone(),
+        })
+    }
+
+    fn sext(&self, width: Width) -> ExprRef {
+        if self.width() == width {
+            return self.clone();
+        }
+        Arc::new(SymExpr::Cast {
+            kind: CastKind::SignExt,
+            width,
+            arg: self.clone(),
+        })
+    }
+
+    fn truncate(&self, width: Width) -> ExprRef {
+        if self.width() == width {
+            return self.clone();
+        }
+        Arc::new(SymExpr::Cast {
+            kind: CastKind::Truncate,
+            width,
+            arg: self.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_truncated_to_width() {
+        let c = SymExpr::constant(Width::W8, 0x1FF);
+        assert_eq!(c.as_const(), Some(0xFF));
+    }
+
+    #[test]
+    fn comparison_results_are_byte_wide() {
+        let a = SymExpr::constant(Width::W32, 1);
+        let b = SymExpr::constant(Width::W32, 2);
+        let cmp = a.binop(BinOp::LtU, b);
+        assert_eq!(cmp.width(), Width::W8);
+    }
+
+    #[test]
+    fn zext_to_same_width_is_identity() {
+        let b = SymExpr::input_byte(0);
+        let same = b.zext(Width::W8);
+        assert_eq!(b, same);
+    }
+
+    #[test]
+    fn taint_propagates_through_operators() {
+        let c = SymExpr::constant(Width::W32, 4);
+        assert!(!c.is_tainted());
+        let t = SymExpr::input_byte(9).zext(Width::W32);
+        assert!(t.is_tainted());
+        assert!(t.binop(BinOp::Add, c.clone()).is_tainted());
+        assert!(!c.binop(BinOp::Add, SymExpr::constant(Width::W32, 1)).is_tainted());
+    }
+
+    #[test]
+    fn node_count_counts_every_node() {
+        let e = SymExpr::input_byte(0)
+            .zext(Width::W16)
+            .binop(BinOp::Add, SymExpr::constant(Width::W16, 3));
+        assert_eq!(e.node_count(), 4);
+    }
+
+    #[test]
+    fn field_leaf_retains_offsets() {
+        let f = SymExpr::field("/sof/height", Width::W16, vec![5, 6]);
+        match f.as_ref() {
+            SymExpr::Field { path, offsets, .. } => {
+                assert_eq!(path, "/sof/height");
+                assert_eq!(offsets, &vec![5, 6]);
+            }
+            _ => panic!("expected field"),
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! # cp-symexpr
+//!
+//! Application-independent symbolic expressions for Code Phage.
+//!
+//! During the instrumented execution of a donor or recipient, every value that
+//! depends on tainted input bytes is shadowed by a [`SymExpr`]: a bitvector
+//! expression tree whose leaves are input bytes (or named input fields) and
+//! constants.  This is the representation the paper calls the
+//! *application-independent form* of a check (Section 3.2).
+//!
+//! The crate also implements the bit-manipulation rewrite rules of Figure 5 of
+//! the paper (and their generalisation to 8/16/32/64-bit operands) in
+//! [`rewrite`], concrete evaluation in [`eval`], and the operation-count metric
+//! used for the "Check Size" column of Figure 8 in [`count_ops`].
+//!
+//! ```
+//! use cp_symexpr::{SymExpr, Width, BinOp, ExprBuild};
+//!
+//! // (byte0 << 8) | byte1 — a big-endian 16-bit field read.
+//! let hi = SymExpr::input_byte(0).zext(Width::W16);
+//! let lo = SymExpr::input_byte(1).zext(Width::W16);
+//! let field = hi.binop(BinOp::Shl, SymExpr::constant(Width::W16, 8))
+//!     .binop(BinOp::Or, lo);
+//! // Extracting the low byte back out simplifies to the original byte.
+//! let low = field.binop(BinOp::And, SymExpr::constant(Width::W16, 0xFF));
+//! let simplified = cp_symexpr::rewrite::simplify(&low);
+//! assert_eq!(cp_symexpr::count_ops(&simplified), 1); // just the zero-extension
+//! ```
+
+pub mod bytes;
+pub mod display;
+pub mod eval;
+pub mod expr;
+pub mod op;
+pub mod rewrite;
+pub mod width;
+
+pub use expr::{ExprBuild, ExprRef, SymExpr};
+pub use op::{BinOp, CastKind, UnOp};
+pub use width::Width;
+
+/// Counts operator nodes (unary, binary and cast nodes) in an expression.
+///
+/// This is the metric reported in the "Check Size" column of Figure 8 of the
+/// paper: the number of operations in the excised application-independent
+/// representation and in the translated check.
+pub fn count_ops(expr: &SymExpr) -> usize {
+    match expr {
+        SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => 0,
+        SymExpr::Unary { arg, .. } => 1 + count_ops(arg),
+        SymExpr::Cast { arg, .. } => 1 + count_ops(arg),
+        SymExpr::Binary { lhs, rhs, .. } => 1 + count_ops(lhs) + count_ops(rhs),
+    }
+}
+
+/// Collects the set of input byte offsets an expression depends on.
+///
+/// Code Phage uses this both to filter branches that are not affected by the
+/// relevant bytes (Section 3.2) and as the "disjoint support" fast path that
+/// avoids solver invocations during translation (Section 3.3).
+pub fn input_support(expr: &SymExpr) -> std::collections::BTreeSet<usize> {
+    let mut set = std::collections::BTreeSet::new();
+    collect_support(expr, &mut set);
+    set
+}
+
+fn collect_support(expr: &SymExpr, set: &mut std::collections::BTreeSet<usize>) {
+    match expr {
+        SymExpr::Const { .. } => {}
+        SymExpr::InputByte { offset } => {
+            set.insert(*offset);
+        }
+        SymExpr::Field { offsets, .. } => {
+            set.extend(offsets.iter().copied());
+        }
+        SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => collect_support(arg, set),
+        SymExpr::Binary { lhs, rhs, .. } => {
+            collect_support(lhs, set);
+            collect_support(rhs, set);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_ops_counts_operator_nodes() {
+        let a = SymExpr::input_byte(0);
+        let b = SymExpr::input_byte(1);
+        let sum = a.binop(BinOp::Add, b);
+        assert_eq!(count_ops(&sum), 1);
+        let widened = sum.zext(Width::W32);
+        assert_eq!(count_ops(&widened), 2);
+    }
+
+    #[test]
+    fn support_collects_all_leaves() {
+        let e = SymExpr::input_byte(3)
+            .zext(Width::W32)
+            .binop(BinOp::Mul, SymExpr::input_byte(7).zext(Width::W32));
+        let support = input_support(&e);
+        assert_eq!(support.into_iter().collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    fn support_of_constant_is_empty() {
+        assert!(input_support(&SymExpr::constant(Width::W32, 5)).is_empty());
+    }
+}

@@ -1,0 +1,441 @@
+//! Expression simplification.
+//!
+//! As the symbolic expressions are recorded during the instrumented execution
+//! of the donor, Code Phage applies optimisations that reduce the size of the
+//! generated expressions (paper Section 3.2, Figure 5).  The most important of
+//! these simplify bit-manipulation operations — shifts, masks and ors that
+//! extract, align or combine operands — because such operations occur
+//! constantly when applications read multi-byte fields out of their inputs.
+//!
+//! [`simplify`] performs a bottom-up pass applying
+//!
+//! * constant folding,
+//! * algebraic identities (`x + 0`, `x | 0`, `x & ~0`, `x * 1`, `x << 0`, …),
+//! * cast fusion (`Shrink(ToSize(x))`, nested truncations, …), and
+//! * the generalised Figure 5 byte-structure rules via [`crate::bytes`].
+//!
+//! Simplification never changes the value of an expression; the property tests
+//! at the bottom of this module check this against random byte environments.
+
+use crate::bytes::{decompose, recompose};
+use crate::count_ops;
+use crate::expr::{ExprRef, SymExpr};
+use crate::eval::eval_binop;
+use crate::op::{BinOp, CastKind, UnOp};
+use crate::width::Width;
+use std::sync::Arc;
+
+/// Options controlling which rule families are applied.
+///
+/// The benchmark harness uses this to reproduce the paper's observation that
+/// the bit-manipulation rules "significantly reduce the size and complexity of
+/// the extracted symbolic expressions".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplifyOptions {
+    /// Apply constant folding and algebraic identities.
+    pub algebraic: bool,
+    /// Apply the Figure 5 byte-structure rules.
+    pub byte_rules: bool,
+}
+
+impl Default for SimplifyOptions {
+    fn default() -> Self {
+        SimplifyOptions {
+            algebraic: true,
+            byte_rules: true,
+        }
+    }
+}
+
+impl SimplifyOptions {
+    /// All rule families enabled.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Disable the Figure 5 byte rules (ablation configuration).
+    pub fn without_byte_rules() -> Self {
+        SimplifyOptions {
+            algebraic: true,
+            byte_rules: false,
+        }
+    }
+
+    /// Disable everything (identity transformation).
+    pub fn none() -> Self {
+        SimplifyOptions {
+            algebraic: false,
+            byte_rules: false,
+        }
+    }
+}
+
+/// Simplifies an expression with the default (full) rule set.
+pub fn simplify(expr: &SymExpr) -> ExprRef {
+    simplify_with(expr, SimplifyOptions::default())
+}
+
+/// Simplifies an expression with an explicit rule selection.
+pub fn simplify_with(expr: &SymExpr, options: SimplifyOptions) -> ExprRef {
+    let rebuilt = match expr {
+        SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => {
+            Arc::new(expr.clone())
+        }
+        SymExpr::Unary { op, width, arg } => {
+            let arg = simplify_with(arg, options);
+            simplify_unary(*op, *width, arg, options)
+        }
+        SymExpr::Binary { op, width, lhs, rhs } => {
+            let lhs = simplify_with(lhs, options);
+            let rhs = simplify_with(rhs, options);
+            simplify_binary(*op, *width, lhs, rhs, options)
+        }
+        SymExpr::Cast { kind, width, arg } => {
+            let arg = simplify_with(arg, options);
+            simplify_cast(*kind, *width, arg, options)
+        }
+    };
+    if options.byte_rules {
+        apply_byte_rules(rebuilt)
+    } else {
+        rebuilt
+    }
+}
+
+fn apply_byte_rules(expr: ExprRef) -> ExprRef {
+    if let Some(bytes) = decompose(&expr) {
+        let rebuilt = recompose(&bytes, expr.width());
+        if count_ops(&rebuilt) < count_ops(&expr) {
+            return rebuilt;
+        }
+    }
+    expr
+}
+
+fn simplify_unary(op: UnOp, width: Width, arg: ExprRef, options: SimplifyOptions) -> ExprRef {
+    if !options.algebraic {
+        return Arc::new(SymExpr::Unary { op, width, arg });
+    }
+    if let Some(v) = arg.as_const() {
+        let value = match op {
+            UnOp::Neg => width.truncate(v.wrapping_neg()),
+            UnOp::Not => width.truncate(!v),
+            UnOp::LogicalNot => (v == 0) as u64,
+        };
+        return SymExpr::constant(width, value);
+    }
+    // Double negation / complement elimination.
+    if let SymExpr::Unary {
+        op: inner_op,
+        arg: inner,
+        ..
+    } = arg.as_ref()
+    {
+        if *inner_op == op && matches!(op, UnOp::Neg | UnOp::Not) {
+            return inner.clone();
+        }
+        // LogicalNot(LogicalNot(x)) is the 0/1 normalisation of x; keep it when
+        // x is already a comparison (whose value is known to be 0/1).
+        if op == UnOp::LogicalNot && *inner_op == UnOp::LogicalNot {
+            if let SymExpr::Binary { op: cmp, .. } = inner.as_ref() {
+                if cmp.is_comparison() {
+                    return inner.clone();
+                }
+            }
+        }
+    }
+    Arc::new(SymExpr::Unary { op, width, arg })
+}
+
+fn simplify_cast(kind: CastKind, width: Width, arg: ExprRef, options: SimplifyOptions) -> ExprRef {
+    if !options.algebraic {
+        if arg.width() == width {
+            return arg;
+        }
+        return Arc::new(SymExpr::Cast { kind, width, arg });
+    }
+    let from = arg.width();
+    if from == width {
+        return arg;
+    }
+    if let Some(v) = arg.as_const() {
+        let value = match kind {
+            CastKind::ZeroExt => from.truncate(v),
+            CastKind::SignExt => width.truncate(from.sign_extend(v)),
+            CastKind::Truncate => width.truncate(v),
+        };
+        return SymExpr::constant(width, value);
+    }
+    // Cast fusion.
+    if let SymExpr::Cast {
+        kind: inner_kind,
+        arg: inner,
+        ..
+    } = arg.as_ref()
+    {
+        match (inner_kind, kind) {
+            // ZeroExt(ZeroExt(x)) => ZeroExt(x)
+            (CastKind::ZeroExt, CastKind::ZeroExt) => {
+                return simplify_cast(CastKind::ZeroExt, width, inner.clone(), options);
+            }
+            // Truncate(ZeroExt(x)) where the truncation lands back at or below
+            // the original width is either x itself or a narrower truncation.
+            (CastKind::ZeroExt, CastKind::Truncate) => {
+                if width == inner.width() {
+                    return inner.clone();
+                }
+                if width < inner.width() {
+                    return simplify_cast(CastKind::Truncate, width, inner.clone(), options);
+                }
+                return simplify_cast(CastKind::ZeroExt, width, inner.clone(), options);
+            }
+            // Truncate(Truncate(x)) => Truncate(x)
+            (CastKind::Truncate, CastKind::Truncate) => {
+                return simplify_cast(CastKind::Truncate, width, inner.clone(), options);
+            }
+            _ => {}
+        }
+    }
+    Arc::new(SymExpr::Cast { kind, width, arg })
+}
+
+fn simplify_binary(
+    op: BinOp,
+    width: Width,
+    lhs: ExprRef,
+    rhs: ExprRef,
+    options: SimplifyOptions,
+) -> ExprRef {
+    if !options.algebraic {
+        return Arc::new(SymExpr::Binary { op, width, lhs, rhs });
+    }
+    // Constant folding.
+    if let (Some(a), Some(b)) = (lhs.as_const(), rhs.as_const()) {
+        let operand_width = if op.is_comparison() { lhs.width() } else { width };
+        let value = eval_binop(op, operand_width, operand_width.truncate(a), operand_width.truncate(b));
+        return SymExpr::constant(width, value);
+    }
+    // Canonicalise constants to the right for commutative operators so the
+    // identity rules below only need to look at `rhs`.
+    let (lhs, rhs) = if op.is_commutative() && lhs.as_const().is_some() && rhs.as_const().is_none() {
+        (rhs, lhs)
+    } else {
+        (lhs, rhs)
+    };
+    if let Some(c) = rhs.as_const() {
+        match op {
+            BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor if c == 0 => return lhs,
+            BinOp::Shl | BinOp::ShrU | BinOp::ShrS if c == 0 => return lhs,
+            BinOp::Mul if c == 1 => return lhs,
+            BinOp::DivU if c == 1 => return lhs,
+            BinOp::Mul if c == 0 => return SymExpr::constant(width, 0),
+            BinOp::And if c == 0 => return SymExpr::constant(width, 0),
+            BinOp::And if c == width.mask() => return lhs,
+            BinOp::Or if c == width.mask() => return SymExpr::constant(width, width.mask()),
+            _ => {}
+        }
+    }
+    // x - x => 0, x ^ x => 0, x & x => x, x | x => x.
+    if lhs == rhs {
+        match op {
+            BinOp::Sub | BinOp::Xor => return SymExpr::constant(width, 0),
+            BinOp::And | BinOp::Or => return lhs,
+            BinOp::Eq | BinOp::LeU | BinOp::LeS => return SymExpr::constant(Width::W8, 1),
+            BinOp::Ne | BinOp::LtU | BinOp::LtS => return SymExpr::constant(Width::W8, 0),
+            _ => {}
+        }
+    }
+    Arc::new(SymExpr::Binary { op, width, lhs, rhs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::input_support;
+
+    fn be16(hi: usize, lo: usize) -> ExprRef {
+        SymExpr::input_byte(hi)
+            .zext(Width::W16)
+            .binop(BinOp::Shl, SymExpr::constant(Width::W16, 8))
+            .binop(BinOp::Or, SymExpr::input_byte(lo).zext(Width::W16))
+    }
+
+    #[test]
+    fn constant_folding_collapses_pure_constant_trees() {
+        let e = SymExpr::constant(Width::W32, 6)
+            .binop(BinOp::Mul, SymExpr::constant(Width::W32, 7))
+            .binop(BinOp::Add, SymExpr::constant(Width::W32, 0));
+        assert_eq!(simplify(&e).as_const(), Some(42));
+    }
+
+    #[test]
+    fn identity_rules_remove_neutral_elements() {
+        let x = SymExpr::input_byte(0).zext(Width::W32);
+        let e = x
+            .binop(BinOp::Add, SymExpr::constant(Width::W32, 0))
+            .binop(BinOp::Mul, SymExpr::constant(Width::W32, 1))
+            .binop(BinOp::Or, SymExpr::constant(Width::W32, 0));
+        assert_eq!(simplify(&e), x);
+    }
+
+    #[test]
+    fn byte_rules_disentangle_low_byte_extraction() {
+        // Extracting the low byte of a big-endian 16-bit read should reduce to
+        // a zero extension of the single input byte (Fig. 5 rule 1).
+        let e = be16(10, 11).binop(BinOp::And, SymExpr::constant(Width::W16, 0xFF));
+        let s = simplify(&e);
+        assert_eq!(count_ops(&s), 1);
+        assert_eq!(
+            input_support(&s).into_iter().collect::<Vec<_>>(),
+            vec![11]
+        );
+    }
+
+    #[test]
+    fn byte_rules_disentangle_high_byte_extraction() {
+        let e = be16(10, 11)
+            .binop(BinOp::And, SymExpr::constant(Width::W16, 0xFF00))
+            .binop(BinOp::ShrU, SymExpr::constant(Width::W16, 8));
+        let s = simplify(&e);
+        assert_eq!(count_ops(&s), 1);
+        assert_eq!(
+            input_support(&s).into_iter().collect::<Vec<_>>(),
+            vec![10]
+        );
+    }
+
+    #[test]
+    fn ablation_without_byte_rules_keeps_shifts() {
+        let e = be16(10, 11).binop(BinOp::And, SymExpr::constant(Width::W16, 0xFF));
+        let full = simplify_with(&e, SimplifyOptions::full());
+        let no_bytes = simplify_with(&e, SimplifyOptions::without_byte_rules());
+        assert!(count_ops(&full) < count_ops(&no_bytes));
+    }
+
+    #[test]
+    fn double_logical_not_of_comparison_collapses() {
+        let cmp = SymExpr::input_byte(0)
+            .zext(Width::W32)
+            .binop(BinOp::LeU, SymExpr::constant(Width::W32, 10));
+        let e = cmp.unop(UnOp::LogicalNot).unop(UnOp::LogicalNot);
+        assert_eq!(simplify(&e), cmp);
+    }
+
+    #[test]
+    fn truncate_of_zero_extension_round_trips() {
+        let b = SymExpr::input_byte(3);
+        let e = b.zext(Width::W64).truncate(Width::W8);
+        assert_eq!(simplify(&e), b);
+    }
+
+    #[test]
+    fn mul_by_zero_is_zero_even_when_tainted() {
+        let e = SymExpr::input_byte(0)
+            .zext(Width::W32)
+            .binop(BinOp::Mul, SymExpr::constant(Width::W32, 0));
+        assert_eq!(simplify(&e).as_const(), Some(0));
+    }
+
+    #[test]
+    fn simplification_preserves_semantics_on_endianness_conversion() {
+        // The exact shape from the paper's running example: a 16-bit
+        // big-endian field, masked, shifted and recombined, then widened and
+        // multiplied.  Simplification must not change its value.
+        let height = be16(4, 5);
+        let width_f = be16(6, 7);
+        let check = height
+            .zext(Width::W64)
+            .binop(BinOp::Mul, width_f.zext(Width::W64))
+            .binop(BinOp::LeU, SymExpr::constant(Width::W64, (1u64 << 29) - 1));
+        let simplified = simplify(&check);
+        for input in [
+            vec![0u8, 0, 0, 0, 0x12, 0x34, 0x00, 0x40],
+            vec![0u8, 0, 0, 0, 0xF5, 0x80, 0x5A, 0xA0],
+            vec![0u8, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF],
+        ] {
+            assert_eq!(eval(&check, &input), eval(&simplified, &input));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::eval::eval;
+    use proptest::prelude::*;
+
+    /// Strategy producing random expressions over input bytes 0..4.
+    fn arb_expr(depth: u32) -> BoxedStrategy<ExprRef> {
+        let leaf = prop_oneof![
+            (0usize..4).prop_map(SymExpr::input_byte),
+            (any::<u64>(), 0usize..4).prop_map(|(v, w)| {
+                SymExpr::constant(Width::all()[w], v)
+            }),
+        ];
+        leaf.prop_recursive(depth, 64, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone(), 0usize..12, 0usize..4).prop_map(
+                    |(a, b, op, w)| {
+                        let ops = [
+                            BinOp::Add,
+                            BinOp::Sub,
+                            BinOp::Mul,
+                            BinOp::And,
+                            BinOp::Or,
+                            BinOp::Xor,
+                            BinOp::Shl,
+                            BinOp::ShrU,
+                            BinOp::ShrS,
+                            BinOp::LeU,
+                            BinOp::LtS,
+                            BinOp::Eq,
+                        ];
+                        let width = Width::all()[w];
+                        let a = a.zext(width);
+                        let b = b.zext(width);
+                        a.binop(ops[op], b)
+                    }
+                ),
+                (inner.clone(), 0usize..4, 0usize..3).prop_map(|(a, w, k)| {
+                    let kinds = [CastKind::ZeroExt, CastKind::SignExt, CastKind::Truncate];
+                    match kinds[k] {
+                        CastKind::ZeroExt => a.zext(Width::all()[w]),
+                        CastKind::SignExt => a.sext(Width::all()[w]),
+                        CastKind::Truncate => a.truncate(Width::all()[w]),
+                    }
+                }),
+                (inner, 0usize..3).prop_map(|(a, k)| {
+                    let ops = [UnOp::Neg, UnOp::Not, UnOp::LogicalNot];
+                    a.unop(ops[k])
+                }),
+            ]
+            .boxed()
+        })
+        .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn simplify_preserves_value(expr in arb_expr(4), bytes in proptest::collection::vec(any::<u8>(), 4)) {
+            let simplified = simplify(&expr);
+            prop_assert_eq!(eval(&expr, &bytes), eval(&simplified, &bytes));
+        }
+
+        #[test]
+        fn simplify_never_grows_expressions(expr in arb_expr(4)) {
+            let simplified = simplify(&expr);
+            prop_assert!(count_ops(&simplified) <= count_ops(&expr));
+        }
+
+        #[test]
+        fn simplify_is_idempotent(expr in arb_expr(3), bytes in proptest::collection::vec(any::<u8>(), 4)) {
+            let once = simplify(&expr);
+            let twice = simplify(&once);
+            prop_assert_eq!(eval(&once, &bytes), eval(&twice, &bytes));
+            prop_assert!(count_ops(&twice) <= count_ops(&once));
+        }
+    }
+}

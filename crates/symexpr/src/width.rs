@@ -1,0 +1,132 @@
+//! Bitvector widths used throughout the pipeline.
+//!
+//! Code Phage works at the machine-word granularities that appear in the
+//! donor/recipient binaries: 8, 16, 32 and 64 bits.  The paper's excised
+//! expressions carry an explicit width on every node (e.g. `Mul(64, ...)`),
+//! and the Figure 5 rewrite rules are stated per width combination; we mirror
+//! that with a small closed enum.
+
+use std::fmt;
+
+/// A bitvector width (8, 16, 32 or 64 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Width {
+    /// 8-bit value.
+    W8,
+    /// 16-bit value.
+    W16,
+    /// 32-bit value.
+    W32,
+    /// 64-bit value.
+    W64,
+}
+
+impl Width {
+    /// Number of bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::W8 => 8,
+            Width::W16 => 16,
+            Width::W32 => 32,
+            Width::W64 => 64,
+        }
+    }
+
+    /// Number of bytes.
+    pub fn bytes(self) -> usize {
+        (self.bits() / 8) as usize
+    }
+
+    /// Bit mask selecting exactly the bits of this width.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::W8 => 0xFF,
+            Width::W16 => 0xFFFF,
+            Width::W32 => 0xFFFF_FFFF,
+            Width::W64 => u64::MAX,
+        }
+    }
+
+    /// Truncates `value` to this width.
+    pub fn truncate(self, value: u64) -> u64 {
+        value & self.mask()
+    }
+
+    /// Sign extends a value of this width to 64 bits (as `i64` reinterpreted).
+    pub fn sign_extend(self, value: u64) -> u64 {
+        let v = self.truncate(value);
+        let shift = 64 - self.bits();
+        (((v << shift) as i64) >> shift) as u64
+    }
+
+    /// Returns the smallest [`Width`] that can hold `bits` bits, if any.
+    pub fn from_bits(bits: u32) -> Option<Width> {
+        match bits {
+            8 => Some(Width::W8),
+            16 => Some(Width::W16),
+            32 => Some(Width::W32),
+            64 => Some(Width::W64),
+            _ => None,
+        }
+    }
+
+    /// Returns the [`Width`] covering exactly `bytes` bytes, if any.
+    pub fn from_bytes(bytes: usize) -> Option<Width> {
+        Width::from_bits((bytes as u32) * 8)
+    }
+
+    /// All widths, smallest first.
+    pub fn all() -> [Width; 4] {
+        [Width::W8, Width::W16, Width::W32, Width::W64]
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_match_widths() {
+        assert_eq!(Width::W8.mask(), 0xFF);
+        assert_eq!(Width::W16.mask(), 0xFFFF);
+        assert_eq!(Width::W32.mask(), 0xFFFF_FFFF);
+        assert_eq!(Width::W64.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn truncate_discards_high_bits() {
+        assert_eq!(Width::W8.truncate(0x1FF), 0xFF);
+        assert_eq!(Width::W16.truncate(0x1_0001), 1);
+        assert_eq!(Width::W32.truncate(u64::MAX), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn sign_extend_propagates_sign_bit() {
+        assert_eq!(Width::W8.sign_extend(0x80), 0xFFFF_FFFF_FFFF_FF80);
+        assert_eq!(Width::W8.sign_extend(0x7F), 0x7F);
+        assert_eq!(Width::W16.sign_extend(0x8000), 0xFFFF_FFFF_FFFF_8000);
+        assert_eq!(Width::W32.sign_extend(0x8000_0000), 0xFFFF_FFFF_8000_0000);
+        assert_eq!(Width::W64.sign_extend(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn from_bits_round_trips() {
+        for w in Width::all() {
+            assert_eq!(Width::from_bits(w.bits()), Some(w));
+            assert_eq!(Width::from_bytes(w.bytes()), Some(w));
+        }
+        assert_eq!(Width::from_bits(12), None);
+        assert_eq!(Width::from_bytes(3), None);
+    }
+
+    #[test]
+    fn display_prints_bit_count() {
+        assert_eq!(Width::W32.to_string(), "32");
+    }
+}

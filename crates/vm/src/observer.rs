@@ -1,0 +1,101 @@
+//! Execution observers.
+//!
+//! The VM reports the events Code Phage's instrumentation consumes — the same
+//! observation points the paper lists for its Valgrind-based analysis:
+//! conditional branches (with the symbolic condition), input-byte reads,
+//! allocations, call/return boundaries and statement boundaries (the candidate
+//! insertion points).  Higher-level analyses (branch tracing, field-read
+//! tracking, insertion-point probing) live in `cp-taint` and are implemented
+//! as observers.
+
+use crate::state::{MachineState, Value};
+use cp_symexpr::ExprRef;
+
+/// A conditional-branch execution event.
+#[derive(Debug, Clone)]
+pub struct BranchEvent {
+    /// Function index of the branch instruction.
+    pub function: usize,
+    /// Instruction index of the branch instruction.
+    pub pc: usize,
+    /// Invocation id of the executing frame.
+    pub invocation: u64,
+    /// Whether the branch was taken (the condition was zero and control jumped
+    /// to the target).
+    pub taken: bool,
+    /// Concrete condition value.
+    pub condition: Value,
+    /// Symbolic condition, when the value depends on input bytes.
+    pub expr: Option<ExprRef>,
+}
+
+/// A statement-boundary event: statement `stmt` of `function` just completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmtEndEvent {
+    /// Function index.
+    pub function: usize,
+    /// Invocation id of the executing frame.
+    pub invocation: u64,
+    /// Statement (program point) id within the function.
+    pub stmt: usize,
+}
+
+/// Observer of VM execution events.
+///
+/// All methods have empty default implementations, so observers only implement
+/// what they need.
+#[allow(unused_variables)]
+pub trait Observer {
+    /// A conditional branch executed.
+    fn on_branch(&mut self, event: &BranchEvent, state: &MachineState) {}
+
+    /// An input byte was read through the `input_byte` intrinsic.
+    fn on_input_read(&mut self, offset: u64, function: usize, invocation: u64) {}
+
+    /// A simple statement finished executing.
+    fn on_stmt_end(&mut self, event: &StmtEndEvent, state: &MachineState) {}
+
+    /// A heap allocation was performed.
+    fn on_alloc(
+        &mut self,
+        base: u64,
+        size: &Value,
+        size_expr: Option<&ExprRef>,
+        state: &MachineState,
+    ) {
+    }
+
+    /// A function was entered.
+    fn on_call(&mut self, function: usize, invocation: u64, caller: Option<usize>) {}
+
+    /// A function returned.
+    fn on_return(&mut self, function: usize, invocation: u64) {}
+}
+
+/// An observer that ignores every event (used for plain, uninstrumented runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_accepts_events() {
+        let mut observer = NullObserver;
+        let state = MachineState::new(0);
+        observer.on_input_read(3, 0, 0);
+        observer.on_call(1, 2, Some(0));
+        observer.on_return(1, 2);
+        observer.on_stmt_end(
+            &StmtEndEvent {
+                function: 0,
+                invocation: 0,
+                stmt: 1,
+            },
+            &state,
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! Machine state: memory segments, shadow (symbolic) state, frames and heap.
+
+use crate::error::VmError;
+use crate::{GLOBAL_BASE, HEAP_BASE, HEAP_GUARD, STACK_BASE, STACK_SIZE};
+use cp_symexpr::{ExprRef, Width};
+use std::collections::HashMap;
+
+/// A concrete runtime value on the operand stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Value {
+    /// The raw bits, truncated to `width`.
+    pub raw: u64,
+    /// Nominal width of the value.
+    pub width: Width,
+    /// Sticky flag: the value was produced by (or derived from) an arithmetic
+    /// operation that wrapped.  The allocator checks this flag to detect the
+    /// paper's "integer overflow at a memory allocation site" errors.
+    pub overflowed: bool,
+}
+
+impl Value {
+    /// Creates a value without the overflow flag.
+    pub fn new(width: Width, raw: u64) -> Self {
+        Value {
+            raw: width.truncate(raw),
+            width,
+            overflowed: false,
+        }
+    }
+
+    /// Creates a value with an explicit overflow flag.
+    pub fn with_overflow(width: Width, raw: u64, overflowed: bool) -> Self {
+        Value {
+            raw: width.truncate(raw),
+            width,
+            overflowed,
+        }
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.raw == 0
+    }
+}
+
+/// One live heap allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Base address.
+    pub base: u64,
+    /// Size in bytes actually granted to the program.
+    pub size: u64,
+}
+
+impl Allocation {
+    /// Whether the range `[addr, addr + len)` lies entirely inside the
+    /// allocation.
+    pub fn contains_range(&self, addr: u64, len: usize) -> bool {
+        addr >= self.base && addr.saturating_add(len as u64) <= self.base + self.size
+    }
+}
+
+/// One activation record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Index of the executing function.
+    pub function: usize,
+    /// Unique invocation id (monotonically increasing across the run).
+    pub invocation: u64,
+    /// Base address of the frame within the stack segment.
+    pub frame_base: u64,
+    /// Saved program counter of the caller (the instruction to resume after
+    /// the call instruction).
+    pub return_pc: usize,
+    /// Height of the operand stack when the frame was entered (used to detect
+    /// malformed bytecode on return).
+    pub operand_base: usize,
+}
+
+/// A snapshot of the memory-visible machine state, taken at a program point.
+///
+/// Code Phage's insertion analysis (paper Section 3.3) needs, at each candidate
+/// insertion point, the values and symbolic expressions reachable from the
+/// variables in scope; the snapshot captures exactly the state that traversal
+/// reads: concrete memory, the symbolic shadow of stored values, the live heap
+/// allocations and the base address of the current frame.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Concrete contents of every written address.
+    pub memory: HashMap<u64, u8>,
+    /// Symbolic shadow of stored values, keyed by start address.
+    pub shadow: HashMap<u64, (Width, ExprRef)>,
+    /// Live heap allocations.
+    pub allocations: Vec<Allocation>,
+    /// Frame base address of the function executing when the snapshot was
+    /// taken.
+    pub frame_base: u64,
+    /// Base address of the global segment.
+    pub globals_base: u64,
+    /// Size of the global segment in bytes.
+    pub globals_size: usize,
+}
+
+impl Snapshot {
+    /// Reads a little-endian value of the given width, if every byte has been
+    /// written.
+    pub fn load(&self, addr: u64, width: Width) -> Option<u64> {
+        let mut value: u64 = 0;
+        for i in 0..width.bytes() {
+            let byte = *self.memory.get(&(addr + i as u64))?;
+            value |= (byte as u64) << (8 * i);
+        }
+        Some(value)
+    }
+
+    /// The symbolic expression recorded for the value stored at `addr`, if
+    /// any.
+    pub fn shadow_at(&self, addr: u64) -> Option<&(Width, ExprRef)> {
+        self.shadow.get(&addr)
+    }
+
+    /// Whether `addr` points into a live allocation, the stack or the globals.
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        if (GLOBAL_BASE..GLOBAL_BASE + self.globals_size as u64).contains(&addr)
+            || (STACK_BASE..STACK_BASE + STACK_SIZE).contains(&addr)
+        {
+            return true;
+        }
+        self.allocations.iter().any(|a| a.contains_range(addr, 1))
+    }
+}
+
+/// The complete mutable state of a running VM.
+#[derive(Debug, Clone)]
+pub struct MachineState {
+    /// Sparse byte memory covering all segments.
+    pub memory: HashMap<u64, u8>,
+    /// Symbolic shadow of stored values, keyed by start address.
+    pub shadow: HashMap<u64, (Width, ExprRef)>,
+    /// Addresses holding values whose computation overflowed.
+    pub overflowed_addrs: std::collections::HashSet<u64>,
+    /// Live heap allocations, sorted by base address.
+    pub allocations: Vec<Allocation>,
+    /// Next free heap address.
+    pub heap_top: u64,
+    /// Next free stack address.
+    pub stack_top: u64,
+    /// Call stack.
+    pub frames: Vec<Frame>,
+    /// Operand stack (concrete values).
+    pub operands: Vec<Value>,
+    /// Operand stack (symbolic shadows, parallel to `operands`).
+    pub operand_shadow: Vec<Option<ExprRef>>,
+    /// Values passed to the `output` intrinsic, in order.
+    pub outputs: Vec<u64>,
+    /// Executed instruction count.
+    pub steps: u64,
+    /// Monotonic counter used to assign invocation ids.
+    pub next_invocation: u64,
+    /// Size of the global segment.
+    pub globals_size: usize,
+}
+
+impl MachineState {
+    /// Creates a fresh machine state for a program with the given global
+    /// segment size.
+    pub fn new(globals_size: usize) -> Self {
+        MachineState {
+            memory: HashMap::new(),
+            shadow: HashMap::new(),
+            overflowed_addrs: std::collections::HashSet::new(),
+            allocations: Vec::new(),
+            heap_top: HEAP_BASE,
+            stack_top: STACK_BASE,
+            frames: Vec::new(),
+            operands: Vec::new(),
+            operand_shadow: Vec::new(),
+            outputs: Vec::new(),
+            steps: 0,
+            next_invocation: 0,
+            globals_size,
+        }
+    }
+
+    /// The base address of the global segment.
+    pub fn globals_base(&self) -> u64 {
+        GLOBAL_BASE
+    }
+
+    /// The currently executing frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is active.
+    pub fn current_frame(&self) -> &Frame {
+        self.frames.last().expect("no active frame")
+    }
+
+    /// Classifies an address and checks that an access of `len` bytes is
+    /// valid.
+    fn check_access(&self, addr: u64, len: usize, write: bool) -> Result<(), VmError> {
+        let end = addr.saturating_add(len as u64);
+        if addr >= GLOBAL_BASE && end <= GLOBAL_BASE + self.globals_size as u64 {
+            return Ok(());
+        }
+        if addr >= STACK_BASE && end <= STACK_BASE + STACK_SIZE {
+            return Ok(());
+        }
+        if addr >= HEAP_BASE {
+            if self
+                .allocations
+                .iter()
+                .any(|a| a.contains_range(addr, len))
+            {
+                return Ok(());
+            }
+            return Err(VmError::OutOfBounds { addr, len, write });
+        }
+        Err(VmError::UnmappedAccess { addr, write })
+    }
+
+    /// Stores a little-endian value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the out-of-bounds / unmapped error for invalid addresses.
+    pub fn store(&mut self, addr: u64, width: Width, value: u64) -> Result<(), VmError> {
+        self.check_access(addr, width.bytes(), true)?;
+        for i in 0..width.bytes() {
+            self.memory
+                .insert(addr + i as u64, ((value >> (8 * i)) & 0xFF) as u8);
+        }
+        Ok(())
+    }
+
+    /// Loads a little-endian value (unwritten bytes read as zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns the out-of-bounds / unmapped error for invalid addresses.
+    pub fn load(&mut self, addr: u64, width: Width) -> Result<u64, VmError> {
+        self.check_access(addr, width.bytes(), false)?;
+        let mut value: u64 = 0;
+        for i in 0..width.bytes() {
+            let byte = self.memory.get(&(addr + i as u64)).copied().unwrap_or(0);
+            value |= (byte as u64) << (8 * i);
+        }
+        Ok(value)
+    }
+
+    /// Records the symbolic shadow of a stored value (or clears it).
+    pub fn set_shadow(&mut self, addr: u64, width: Width, expr: Option<ExprRef>) {
+        match expr {
+            Some(expr) => {
+                self.shadow.insert(addr, (width, expr));
+            }
+            None => {
+                self.shadow.remove(&addr);
+            }
+        }
+    }
+
+    /// The symbolic shadow recorded at `addr`, if any.
+    pub fn shadow_at(&self, addr: u64) -> Option<&(Width, ExprRef)> {
+        self.shadow.get(&addr)
+    }
+
+    /// Marks or clears the overflow flag for a stored value.
+    pub fn set_overflowed(&mut self, addr: u64, width: Width, overflowed: bool) {
+        for i in 0..width.bytes() {
+            if overflowed {
+                self.overflowed_addrs.insert(addr + i as u64);
+            } else {
+                self.overflowed_addrs.remove(&(addr + i as u64));
+            }
+        }
+    }
+
+    /// Whether any byte of `[addr, addr+width)` holds an overflowed value.
+    pub fn is_overflowed(&self, addr: u64, width: Width) -> bool {
+        (0..width.bytes()).any(|i| self.overflowed_addrs.contains(&(addr + i as u64)))
+    }
+
+    /// Performs a heap allocation of `size` bytes and returns its base
+    /// address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::AllocationTooLarge`] when `size` exceeds `max_size`.
+    pub fn allocate(&mut self, size: u64, max_size: u64) -> Result<u64, VmError> {
+        if size > max_size {
+            return Err(VmError::AllocationTooLarge { requested: size });
+        }
+        let base = self.heap_top;
+        self.heap_top = self.heap_top.saturating_add(size.max(1)).saturating_add(HEAP_GUARD);
+        self.allocations.push(Allocation { base, size });
+        Ok(base)
+    }
+
+    /// Pushes a frame for `function` and returns its base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::StackOverflow`] if the stack segment is exhausted.
+    pub fn push_frame(
+        &mut self,
+        function: usize,
+        frame_size: usize,
+        return_pc: usize,
+    ) -> Result<&Frame, VmError> {
+        if self.stack_top + frame_size as u64 > STACK_BASE + STACK_SIZE {
+            return Err(VmError::StackOverflow);
+        }
+        let frame_base = self.stack_top;
+        self.stack_top += frame_size as u64;
+        let invocation = self.next_invocation;
+        self.next_invocation += 1;
+        self.frames.push(Frame {
+            function,
+            invocation,
+            frame_base,
+            return_pc,
+            operand_base: self.operands.len(),
+        });
+        Ok(self.frames.last().expect("frame just pushed"))
+    }
+
+    /// Pops the current frame, releasing its stack space.
+    pub fn pop_frame(&mut self) -> Option<Frame> {
+        let frame = self.frames.pop()?;
+        self.stack_top = frame.frame_base;
+        Some(frame)
+    }
+
+    /// Takes a snapshot of the memory-visible state for insertion-point
+    /// analysis.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            memory: self.memory.clone(),
+            shadow: self.shadow.clone(),
+            allocations: self.allocations.clone(),
+            frame_base: self.frames.last().map(|f| f.frame_base).unwrap_or(STACK_BASE),
+            globals_base: GLOBAL_BASE,
+            globals_size: self.globals_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_symexpr::SymExpr;
+
+    #[test]
+    fn store_and_load_round_trip_little_endian() {
+        let mut state = MachineState::new(16);
+        state.store(GLOBAL_BASE, Width::W32, 0xAABBCCDD).unwrap();
+        assert_eq!(state.load(GLOBAL_BASE, Width::W32).unwrap(), 0xAABBCCDD);
+        assert_eq!(state.load(GLOBAL_BASE, Width::W8).unwrap(), 0xDD);
+        assert_eq!(state.load(GLOBAL_BASE + 3, Width::W8).unwrap(), 0xAA);
+    }
+
+    #[test]
+    fn global_access_outside_segment_is_unmapped() {
+        let mut state = MachineState::new(4);
+        assert!(state.store(GLOBAL_BASE + 8, Width::W8, 1).is_err());
+        assert!(state.store(0, Width::W8, 1).is_err());
+    }
+
+    #[test]
+    fn heap_bounds_are_enforced() {
+        let mut state = MachineState::new(0);
+        let base = state.allocate(8, u64::MAX).unwrap();
+        state.store(base, Width::W64, 42).unwrap();
+        let err = state.store(base + 8, Width::W8, 1).unwrap_err();
+        assert!(matches!(err, VmError::OutOfBounds { .. }));
+        let err = state.load(base + 9, Width::W8).unwrap_err();
+        assert!(matches!(err, VmError::OutOfBounds { write: false, .. }));
+    }
+
+    #[test]
+    fn allocations_are_separated_by_guard_gaps() {
+        let mut state = MachineState::new(0);
+        let a = state.allocate(4, u64::MAX).unwrap();
+        let b = state.allocate(4, u64::MAX).unwrap();
+        assert!(b >= a + 4 + HEAP_GUARD);
+    }
+
+    #[test]
+    fn allocation_size_cap() {
+        let mut state = MachineState::new(0);
+        assert!(matches!(
+            state.allocate(1 << 40, 1 << 30),
+            Err(VmError::AllocationTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn overflow_flags_track_addresses() {
+        let mut state = MachineState::new(16);
+        state.set_overflowed(GLOBAL_BASE, Width::W32, true);
+        assert!(state.is_overflowed(GLOBAL_BASE + 2, Width::W8));
+        assert!(!state.is_overflowed(GLOBAL_BASE + 4, Width::W8));
+        state.set_overflowed(GLOBAL_BASE, Width::W32, false);
+        assert!(!state.is_overflowed(GLOBAL_BASE, Width::W32));
+    }
+
+    #[test]
+    fn frames_allocate_and_release_stack_space() {
+        let mut state = MachineState::new(0);
+        let base1 = {
+            let f = state.push_frame(0, 32, 0).unwrap();
+            f.frame_base
+        };
+        let base2 = {
+            let f = state.push_frame(1, 16, 5).unwrap();
+            f.frame_base
+        };
+        assert_eq!(base2, base1 + 32);
+        state.pop_frame();
+        let base3 = state.push_frame(2, 8, 0).unwrap().frame_base;
+        assert_eq!(base3, base2);
+    }
+
+    #[test]
+    fn snapshot_captures_shadow_state() {
+        let mut state = MachineState::new(16);
+        state.push_frame(0, 8, 0).unwrap();
+        state.store(GLOBAL_BASE, Width::W16, 7).unwrap();
+        state.set_shadow(GLOBAL_BASE, Width::W16, Some(SymExpr::input_byte(3)));
+        let snap = state.snapshot();
+        assert_eq!(snap.load(GLOBAL_BASE, Width::W16), Some(7));
+        assert!(snap.shadow_at(GLOBAL_BASE).is_some());
+        assert!(snap.is_mapped(GLOBAL_BASE));
+        assert!(!snap.is_mapped(HEAP_BASE + 100));
+    }
+}
