@@ -1,1 +1,21 @@
-fn main() {}
+//! Times the donor-side analysis for each corpus scenario: record an
+//! instrumented trace on the error input and extract the candidate checks —
+//! the work behind each row of the paper's Figure 8.
+
+use cp_bench::harness::{bench, section};
+use cp_core::Session;
+
+fn main() {
+    section("fig8 pairs (record + check extraction per scenario)");
+    for scenario in cp_corpus::scenarios() {
+        let mut session = Session::builder()
+            .source(scenario.source)
+            .build()
+            .expect("corpus programs compile");
+        let m = bench(scenario.name, 5, 100, || {
+            let trace = session.record_with_input(scenario.error_input);
+            trace.checks().len()
+        });
+        println!("{}", m.report());
+    }
+}

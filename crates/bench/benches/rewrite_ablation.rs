@@ -1,1 +1,45 @@
-fn main() {}
+//! Compares simplification with and without the Figure 5 byte-structure
+//! rules over the checks recorded from the corpus — the paper's observation
+//! that the bit-manipulation rules are what keep excised expressions small.
+
+use cp_bench::harness::{bench, section};
+use cp_core::Session;
+use cp_symexpr::rewrite::{simplify_with, SimplifyOptions};
+
+fn main() {
+    section("rewrite ablation (full rules vs no byte rules)");
+    let mut conditions = Vec::new();
+    for scenario in cp_corpus::scenarios() {
+        let trace = Session::builder()
+            .source(scenario.source)
+            .input(scenario.benign_input)
+            .record()
+            .expect("corpus programs compile");
+        conditions.extend(trace.checks().into_iter().map(|c| c.raw));
+    }
+    println!("conditions: {}", conditions.len());
+
+    for (name, options) in [
+        ("simplify/full", SimplifyOptions::full()),
+        (
+            "simplify/no-byte-rules",
+            SimplifyOptions::without_byte_rules(),
+        ),
+        ("simplify/none", SimplifyOptions::none()),
+    ] {
+        let m = bench(name, 10, 500, || {
+            conditions
+                .iter()
+                .map(|c| cp_symexpr::count_ops(&simplify_with(c, options)))
+                .sum::<usize>()
+        });
+        println!("{}", m.report());
+    }
+
+    let full: usize = conditions
+        .iter()
+        .map(|c| cp_symexpr::count_ops(&simplify_with(c, SimplifyOptions::full())))
+        .sum();
+    let none: usize = conditions.iter().map(|c| cp_symexpr::count_ops(c)).sum();
+    println!("total ops: raw {none} -> simplified {full}");
+}

@@ -1,1 +1,48 @@
-fn main() {}
+//! Measures the disjoint-support fast path against full sampling-based
+//! equivalence queries — the paper's "most pairs never reach the solver"
+//! observation (Section 3.3).
+
+use cp_bench::harness::{bench, section};
+use cp_core::Session;
+use cp_solver::{disjoint_support, SampleSolver};
+use cp_symexpr::ExprRef;
+
+fn main() {
+    section("solver ablation (disjoint-support fast path vs sampling)");
+    let mut conditions: Vec<ExprRef> = Vec::new();
+    for scenario in cp_corpus::scenarios() {
+        let trace = Session::builder()
+            .source(scenario.source)
+            .input(scenario.benign_input)
+            .record()
+            .expect("corpus programs compile");
+        conditions.extend(trace.checks().into_iter().map(|c| c.condition));
+    }
+    let pairs: Vec<(ExprRef, ExprRef)> = conditions
+        .iter()
+        .flat_map(|a| conditions.iter().map(move |b| (a.clone(), b.clone())))
+        .collect();
+    println!("pairs: {}", pairs.len());
+
+    let fast = bench("fast-path-only", 10, 200, || {
+        pairs.iter().filter(|(a, b)| disjoint_support(a, b)).count()
+    });
+    println!("{}", fast.report());
+
+    let solver = SampleSolver::with_samples(64);
+    let sampled = bench("sampling-all-pairs", 2, 20, || {
+        pairs
+            .iter()
+            .filter(|(a, b)| solver.equivalent(a, b).is_consistent())
+            .count()
+    });
+    println!("{}", sampled.report());
+
+    let gated = bench("fast-path-then-sampling", 2, 20, || {
+        pairs
+            .iter()
+            .filter(|(a, b)| !disjoint_support(a, b) && solver.equivalent(a, b).is_consistent())
+            .count()
+    });
+    println!("{}", gated.report());
+}

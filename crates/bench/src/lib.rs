@@ -1,1 +1,73 @@
-//! placeholder
+//! # cp-bench
+//!
+//! Benchmark harnesses for the Code Phage pipeline.
+//!
+//! The build environment has no crates.io access, so instead of criterion the
+//! four benches under `benches/` are `harness = false` binaries built on the
+//! tiny timing harness in [`harness`].  Each bench drives the `cp-core`
+//! [`Session`](cp_core::Session) API — the same surface every other consumer
+//! uses — so the numbers track the real pipeline cost.
+
+/// A minimal wall-clock timing harness.
+pub mod harness {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// The result of timing one benchmark case.
+    #[derive(Debug, Clone)]
+    pub struct Measurement {
+        /// Case name.
+        pub name: String,
+        /// Iterations measured.
+        pub iters: u32,
+        /// Mean nanoseconds per iteration.
+        pub ns_per_iter: f64,
+    }
+
+    impl Measurement {
+        /// Renders the measurement as one aligned report line.
+        pub fn report(&self) -> String {
+            format!(
+                "{:<40} {:>12.0} ns/iter ({} iters)",
+                self.name, self.ns_per_iter, self.iters
+            )
+        }
+    }
+
+    /// Times `f`, discarding `warmup` iterations then averaging over `iters`.
+    ///
+    /// The closure's result is passed through [`black_box`] so the work is
+    /// not optimised away.
+    pub fn bench<T>(name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> T) -> Measurement {
+        for _ in 0..warmup {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        Measurement {
+            name: name.to_string(),
+            iters,
+            ns_per_iter: elapsed.as_nanos() as f64 / f64::from(iters.max(1)),
+        }
+    }
+
+    /// Prints a bench header so `cargo bench` output groups by file.
+    pub fn section(title: &str) {
+        println!("\n== {title} ==");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::harness::bench;
+
+    #[test]
+    fn harness_measures_and_reports() {
+        let m = bench("noop", 1, 10, || 40 + 2);
+        assert_eq!(m.iters, 10);
+        assert!(m.report().contains("noop"));
+    }
+}

@@ -119,9 +119,9 @@ fn compile_function(
     };
     compiler.compile_block(&function.body)?;
     // Implicit return for functions that fall off the end.
-    if function.ret.is_some() {
+    if let Some(ret) = &function.ret {
         compiler.emit(Instr::PushConst {
-            width: type_width(function.ret.as_ref().expect("checked above")),
+            width: type_width(ret),
             value: 0,
         });
         compiler.emit(Instr::Return { has_value: true });
@@ -320,7 +320,10 @@ impl<'a> FunctionCompiler<'a> {
                 });
                 Ok(())
             }
-            ExprKind::Var(_) | ExprKind::Field { .. } | ExprKind::Index { .. } | ExprKind::Deref(_) => {
+            ExprKind::Var(_)
+            | ExprKind::Field { .. }
+            | ExprKind::Index { .. }
+            | ExprKind::Deref(_) => {
                 if !ty.is_integer() && !ty.is_pointer() {
                     return Err(CompileError::new(format!(
                         "cannot load a whole struct value of type `{ty}`"
@@ -333,7 +336,10 @@ impl<'a> FunctionCompiler<'a> {
                 Ok(())
             }
             ExprKind::AddrOf(inner) => self.compile_address(inner),
-            ExprKind::Cast { expr: inner, ty: target } => {
+            ExprKind::Cast {
+                expr: inner,
+                ty: target,
+            } => {
                 self.compile_rvalue(inner)?;
                 let source = inner.ty().clone();
                 self.emit_cast(&source, target);
@@ -355,12 +361,7 @@ impl<'a> FunctionCompiler<'a> {
         }
     }
 
-    fn compile_binary(
-        &mut self,
-        op: BinaryOp,
-        lhs: &Expr,
-        rhs: &Expr,
-    ) -> Result<(), CompileError> {
+    fn compile_binary(&mut self, op: BinaryOp, lhs: &Expr, rhs: &Expr) -> Result<(), CompileError> {
         if op.is_logical() {
             return self.compile_logical(op, lhs, rhs);
         }
@@ -573,11 +574,10 @@ impl<'a> FunctionCompiler<'a> {
                         )))
                     }
                 };
-                let layout = self
-                    .debug
-                    .structs
-                    .get(&struct_name)
-                    .ok_or_else(|| CompileError::new(format!("unknown struct `{struct_name}`")))?;
+                let layout =
+                    self.debug.structs.get(&struct_name).ok_or_else(|| {
+                        CompileError::new(format!("unknown struct `{struct_name}`"))
+                    })?;
                 let field_layout = layout.field(field).ok_or_else(|| {
                     CompileError::new(format!("struct `{struct_name}` has no field `{field}`"))
                 })?;
@@ -641,7 +641,10 @@ mod tests {
             .code
             .iter()
             .any(|i| matches!(i, Instr::Binary { op: BinOp::Mul, .. })));
-        assert!(main.code.iter().any(|i| matches!(i, Instr::Return { has_value: true })));
+        assert!(main
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Return { has_value: true })));
     }
 
     #[test]
@@ -682,14 +685,20 @@ mod tests {
         "#,
         );
         let main = &program.functions[program.main];
-        assert!(main
-            .code
-            .iter()
-            .any(|i| matches!(i, Instr::Binary { op: BinOp::DivS, .. })));
-        assert!(main
-            .code
-            .iter()
-            .any(|i| matches!(i, Instr::Binary { op: BinOp::DivU, .. })));
+        assert!(main.code.iter().any(|i| matches!(
+            i,
+            Instr::Binary {
+                op: BinOp::DivS,
+                ..
+            }
+        )));
+        assert!(main.code.iter().any(|i| matches!(
+            i,
+            Instr::Binary {
+                op: BinOp::DivU,
+                ..
+            }
+        )));
         assert!(main
             .code
             .iter()

@@ -1,1 +1,508 @@
-//! placeholder
+//! # cp-core
+//!
+//! The public pipeline façade of the Code Phage reproduction.
+//!
+//! Every stage of the system — candidate-check discovery, excision, patch
+//! insertion, DIODE-style overflow targeting — consumes the same primitive:
+//! *observe one execution of one program on one input and query what
+//! happened*.  This crate packages that primitive behind two types:
+//!
+//! * [`Session`] — a builder-configured pipeline run: Phage-C source (or an
+//!   already-compiled program), input bytes, resource limits and optional
+//!   extra observers.  No caller ever wires `frontend → compile → run` by
+//!   hand.
+//! * [`Trace`] — the owned record a session produces: branch events with
+//!   their symbolic conditions, input reads, statement boundaries,
+//!   allocations, outputs and the termination.  Query helpers filter branches
+//!   by input support ([`Trace::branches_influenced_by`]), surface the
+//!   detected error ([`Trace::last_error`]) and extract simplified
+//!   application-independent candidate checks ([`Trace::checks`]).
+//!
+//! ```
+//! use cp_core::Session;
+//!
+//! let trace = Session::builder()
+//!     .source(
+//!         r#"
+//!         fn main() -> u32 {
+//!             var width: u16 = ((input_byte(0) as u16) << 8) | (input_byte(1) as u16);
+//!             if (width > 16384) { exit(1); }
+//!             return width as u32;
+//!         }
+//!         "#,
+//!     )
+//!     .input(&[0x12, 0x34])
+//!     .record()?;
+//! assert!(trace.last_error().is_none());
+//! assert_eq!(trace.checks().len(), 1);
+//! # Ok::<(), cp_core::PipelineError>(())
+//! ```
+
+use cp_bytecode::{compile, CompileError, CompiledProgram};
+use cp_lang::{frontend, LangError};
+use cp_symexpr::{input_support, rewrite, ExprRef};
+use cp_taint::{AllocRecord, BranchRecord, CallRecord, InputReadRecord, TraceRecorder};
+use cp_vm::{
+    run_with_observer, BranchEvent, MachineState, Observer, RunConfig, StmtEndEvent, Termination,
+    Value, VmError,
+};
+use std::fmt;
+
+pub use cp_taint::TraceRecorder as Recorder;
+pub use cp_vm::RunConfig as VmRunConfig;
+
+/// Errors produced while building a session's program.
+///
+/// Runtime faults are *not* pipeline errors: a run that traps on
+/// divide-by-zero still produces a [`Trace`] (whose
+/// [`last_error`](Trace::last_error) reports the fault) because observing
+/// erroneous executions is precisely what the donor analysis is for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The Phage-C front end rejected the source.
+    Lang(LangError),
+    /// The bytecode compiler rejected the analyzed program.
+    Compile(CompileError),
+    /// The builder was not given a program to run.
+    MissingProgram,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Lang(e) => write!(f, "front end: {e}"),
+            PipelineError::Compile(e) => write!(f, "{e}"),
+            PipelineError::MissingProgram => {
+                write!(f, "session has neither source nor a compiled program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<LangError> for PipelineError {
+    fn from(e: LangError) -> Self {
+        PipelineError::Lang(e)
+    }
+}
+
+impl From<CompileError> for PipelineError {
+    fn from(e: CompileError) -> Self {
+        PipelineError::Compile(e)
+    }
+}
+
+/// A candidate check extracted from a recorded branch: the paper's
+/// application-independent representation of a validation the program
+/// performed on its input.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Function index of the branch site.
+    pub function: usize,
+    /// Instruction index of the branch site.
+    pub pc: usize,
+    /// Direction observed at the site (condition zero → branch taken).
+    pub taken: bool,
+    /// The symbolic condition exactly as recorded.
+    pub raw: ExprRef,
+    /// The condition after `cp_symexpr::rewrite` simplification — the form
+    /// whose size the paper reports in Figure 8.
+    pub condition: ExprRef,
+}
+
+impl Check {
+    /// Operation count of the recorded condition (Figure 8 "before").
+    pub fn raw_ops(&self) -> usize {
+        cp_symexpr::count_ops(&self.raw)
+    }
+
+    /// Operation count of the simplified condition (Figure 8 "after").
+    pub fn simplified_ops(&self) -> usize {
+        cp_symexpr::count_ops(&self.condition)
+    }
+
+    /// The input byte offsets the check constrains.
+    pub fn support(&self) -> Vec<usize> {
+        input_support(&self.condition).into_iter().collect()
+    }
+}
+
+/// The owned record of one instrumented execution.
+#[derive(Debug)]
+pub struct Trace {
+    /// Conditional branches in execution order, with symbolic conditions.
+    pub branches: Vec<BranchRecord>,
+    /// Input-byte reads in execution order.
+    pub input_reads: Vec<InputReadRecord>,
+    /// Statement boundaries (candidate insertion points) in execution order.
+    pub stmt_ends: Vec<StmtEndEvent>,
+    /// Heap allocations in execution order.
+    pub allocs: Vec<AllocRecord>,
+    /// Function invocations in execution order.
+    pub calls: Vec<CallRecord>,
+    /// Values the program passed to `output`.
+    pub outputs: Vec<u64>,
+    /// How the run ended.
+    pub termination: Termination,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+impl Trace {
+    /// Branches whose symbolic condition depends on at least one of the given
+    /// input byte offsets — the paper's filter for branches relevant to the
+    /// bytes that trigger an error.
+    pub fn branches_influenced_by(&self, offsets: &[usize]) -> Vec<&BranchRecord> {
+        self.branches
+            .iter()
+            .filter(|b| b.influenced_by(offsets))
+            .collect()
+    }
+
+    /// Branches whose condition depends on any input byte.
+    pub fn tainted_branches(&self) -> Vec<&BranchRecord> {
+        self.branches.iter().filter(|b| b.is_tainted()).collect()
+    }
+
+    /// The error the run trapped on, if any.
+    pub fn last_error(&self) -> Option<&VmError> {
+        self.termination.error()
+    }
+
+    /// Candidate checks: one per distinct branch site whose condition the
+    /// input influenced, in first-execution order, with the condition
+    /// simplified to its application-independent form.
+    ///
+    /// A site executed many times (e.g. a loop bound) contributes the record
+    /// of its first execution; later iterations observe the same check with
+    /// different loop-carried constants.
+    pub fn checks(&self) -> Vec<Check> {
+        let mut seen = std::collections::HashSet::new();
+        let mut checks = Vec::new();
+        for branch in &self.branches {
+            let Some(expr) = &branch.expr else { continue };
+            if !seen.insert((branch.function, branch.pc)) {
+                continue;
+            }
+            checks.push(Check {
+                function: branch.function,
+                pc: branch.pc,
+                taken: branch.taken,
+                raw: expr.clone(),
+                condition: rewrite::simplify(expr),
+            });
+        }
+        checks
+    }
+}
+
+/// Builder for a [`Session`].
+///
+/// Obtained from [`Session::builder`]; finish with [`build`](Self::build) to
+/// keep a reusable session, or [`record`](Self::record) to compile and run in
+/// one step.
+#[derive(Default)]
+pub struct SessionBuilder {
+    source: Option<String>,
+    program: Option<CompiledProgram>,
+    input: Vec<u8>,
+    config: RunConfig,
+    strip: bool,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl SessionBuilder {
+    /// Sets the Phage-C source to compile and run.
+    pub fn source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
+        self
+    }
+
+    /// Runs an already-compiled program instead of source text.
+    pub fn program(mut self, program: CompiledProgram) -> Self {
+        self.program = Some(program);
+        self
+    }
+
+    /// Sets the input bytes the program reads through `input_byte`.
+    pub fn input(mut self, input: impl AsRef<[u8]>) -> Self {
+        self.input = input.as_ref().to_vec();
+        self
+    }
+
+    /// Caps the number of executed instructions (default one million).
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.config.max_steps = max_steps;
+        self
+    }
+
+    /// Caps the call depth (default 256).
+    pub fn max_call_depth(mut self, depth: usize) -> Self {
+        self.config.max_call_depth = depth;
+        self
+    }
+
+    /// Caps the size of a single heap allocation (default 1 GiB).
+    pub fn max_alloc(mut self, bytes: u64) -> Self {
+        self.config.max_alloc = bytes;
+        self
+    }
+
+    /// Strips symbols, statement maps and debug information before running —
+    /// the paper's "proprietary donor" scenario.
+    pub fn stripped(mut self) -> Self {
+        self.strip = true;
+        self
+    }
+
+    /// Registers an additional observer that receives every execution event
+    /// alongside the session's own trace recorder.
+    pub fn observer(mut self, observer: Box<dyn Observer>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Compiles the configured program and returns a reusable [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] if no program was configured or the front
+    /// end / compiler rejects the source.
+    pub fn build(self) -> Result<Session, PipelineError> {
+        let program = match (self.program, self.source) {
+            (Some(program), _) => program,
+            (None, Some(source)) => compile(&frontend(&source)?)?,
+            (None, None) => return Err(PipelineError::MissingProgram),
+        };
+        let program = if self.strip { program.strip() } else { program };
+        Ok(Session {
+            program,
+            input: self.input,
+            config: self.config,
+            observers: self.observers,
+        })
+    }
+
+    /// Compiles and records in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] if the program cannot be built; runtime
+    /// faults are reported inside the returned [`Trace`], not as errors.
+    pub fn record(self) -> Result<Trace, PipelineError> {
+        Ok(self.build()?.record())
+    }
+}
+
+/// A configured pipeline run: one compiled program, one input, one set of
+/// limits.
+///
+/// Sessions are reusable — [`record`](Session::record) can be called many
+/// times (e.g. once per input in a corpus via
+/// [`record_with_input`](Session::record_with_input)).
+pub struct Session {
+    program: CompiledProgram,
+    input: Vec<u8>,
+    config: RunConfig,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl Session {
+    /// Starts configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The compiled program the session runs.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// Records one instrumented execution on the configured input.
+    pub fn record(&mut self) -> Trace {
+        let input = std::mem::take(&mut self.input);
+        let trace = self.record_with_input(&input);
+        self.input = input;
+        trace
+    }
+
+    /// Records one instrumented execution on an explicit input, leaving the
+    /// configured input untouched.
+    pub fn record_with_input(&mut self, input: &[u8]) -> Trace {
+        let mut recorder = TraceRecorder::new();
+        let result = {
+            let mut fanout = Fanout {
+                recorder: &mut recorder,
+                extra: &mut self.observers,
+            };
+            run_with_observer(&self.program, input, &self.config, &mut fanout)
+        };
+        Trace {
+            branches: recorder.branches,
+            input_reads: recorder.input_reads,
+            stmt_ends: recorder.stmt_ends,
+            allocs: recorder.allocs,
+            calls: recorder.calls,
+            outputs: result.outputs,
+            termination: result.termination,
+            steps: result.steps,
+        }
+    }
+}
+
+/// Forwards every event to the trace recorder and to the extra observers the
+/// caller registered.
+struct Fanout<'a> {
+    recorder: &'a mut TraceRecorder,
+    extra: &'a mut [Box<dyn Observer>],
+}
+
+impl Observer for Fanout<'_> {
+    fn on_branch(&mut self, event: &BranchEvent, state: &MachineState) {
+        self.recorder.on_branch(event, state);
+        for observer in self.extra.iter_mut() {
+            observer.on_branch(event, state);
+        }
+    }
+
+    fn on_input_read(&mut self, offset: u64, function: usize, invocation: u64) {
+        self.recorder.on_input_read(offset, function, invocation);
+        for observer in self.extra.iter_mut() {
+            observer.on_input_read(offset, function, invocation);
+        }
+    }
+
+    fn on_stmt_end(&mut self, event: &StmtEndEvent, state: &MachineState) {
+        self.recorder.on_stmt_end(event, state);
+        for observer in self.extra.iter_mut() {
+            observer.on_stmt_end(event, state);
+        }
+    }
+
+    fn on_alloc(
+        &mut self,
+        base: u64,
+        size: &Value,
+        size_expr: Option<&ExprRef>,
+        state: &MachineState,
+    ) {
+        self.recorder.on_alloc(base, size, size_expr, state);
+        for observer in self.extra.iter_mut() {
+            observer.on_alloc(base, size, size_expr, state);
+        }
+    }
+
+    fn on_call(&mut self, function: usize, invocation: u64, caller: Option<usize>) {
+        self.recorder.on_call(function, invocation, caller);
+        for observer in self.extra.iter_mut() {
+            observer.on_call(function, invocation, caller);
+        }
+    }
+
+    fn on_return(&mut self, function: usize, invocation: u64) {
+        self.recorder.on_return(function, invocation);
+        for observer in self.extra.iter_mut() {
+            observer.on_return(function, invocation);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_without_program_is_an_error() {
+        assert_eq!(
+            Session::builder().record().unwrap_err(),
+            PipelineError::MissingProgram
+        );
+    }
+
+    #[test]
+    fn front_end_errors_surface_as_pipeline_errors() {
+        let err = Session::builder()
+            .source("fn main( {")
+            .record()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Lang(_)));
+    }
+
+    #[test]
+    fn session_is_reusable_across_inputs() {
+        let mut session = Session::builder()
+            .source(
+                r#"
+                fn main() -> u32 {
+                    var b: u32 = input_byte(0) as u32;
+                    if (b == 0) { exit(1); }
+                    return b;
+                }
+                "#,
+            )
+            .build()
+            .unwrap();
+        let bad = session.record_with_input(&[0]);
+        let good = session.record_with_input(&[7]);
+        assert_eq!(bad.termination, Termination::Exited(1));
+        assert_eq!(good.termination, Termination::Returned(7));
+    }
+
+    #[test]
+    fn stripped_sessions_still_trace_branches() {
+        let trace = Session::builder()
+            .source(
+                r#"
+                fn main() -> u32 {
+                    var b: u32 = input_byte(0) as u32;
+                    if (b < 10) { return 1; }
+                    return 0;
+                }
+                "#,
+            )
+            .input([3u8])
+            .stripped()
+            .record()
+            .unwrap();
+        assert_eq!(trace.tainted_branches().len(), 1);
+    }
+
+    #[test]
+    fn extra_observers_see_the_event_stream() {
+        #[derive(Default)]
+        struct CountBranches(std::rc::Rc<std::cell::Cell<usize>>);
+        impl Observer for CountBranches {
+            fn on_branch(&mut self, _event: &BranchEvent, _state: &MachineState) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let trace = Session::builder()
+            .source(
+                r#"
+                fn main() -> u32 {
+                    var i: u32 = 0;
+                    while (i < 4) { i = i + 1; }
+                    return i;
+                }
+                "#,
+            )
+            .observer(Box::new(CountBranches(count.clone())))
+            .record()
+            .unwrap();
+        assert_eq!(count.get(), trace.branches.len());
+        assert_eq!(count.get(), 5);
+    }
+
+    #[test]
+    fn step_limit_is_configurable() {
+        let trace = Session::builder()
+            .source("fn main() -> u32 { while (1) { } return 0; }")
+            .max_steps(500)
+            .record()
+            .unwrap();
+        assert_eq!(trace.last_error(), Some(&VmError::StepLimitExceeded));
+        assert!(trace.steps <= 501);
+    }
+}

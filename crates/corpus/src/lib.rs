@@ -1,1 +1,149 @@
-//! placeholder
+//! # cp-corpus
+//!
+//! A corpus of Phage-C donor/recipient scenarios.
+//!
+//! The paper's evaluation runs ten donor→recipient transfer pairs over real
+//! image- and sound-parsing applications.  This crate holds the synthetic
+//! equivalents: small Phage-C programs that parse a binary header, each with
+//! an input that triggers one of the three error classes and a benign input
+//! that parses cleanly.  The benchmark harness and the Figure 8 report
+//! generator iterate over [`scenarios`].
+
+/// Which of the paper's error classes a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Out-of-bounds heap access.
+    OutOfBounds,
+    /// Division or remainder by zero.
+    DivideByZero,
+    /// Integer overflow flowing into an allocation size.
+    OverflowIntoAllocation,
+}
+
+/// One donor scenario: a program plus an error-triggering and a benign input.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Short unique name (used in benchmark output).
+    pub name: &'static str,
+    /// Phage-C source of the donor.
+    pub source: &'static str,
+    /// The error class `error_input` triggers.
+    pub error_class: ErrorClass,
+    /// An input that drives the donor into the error.
+    pub error_input: &'static [u8],
+    /// An input the donor processes successfully.
+    pub benign_input: &'static [u8],
+}
+
+/// A donor that parses a big-endian image header and allocates
+/// `width * height` pixel bytes; a large header overflows the 32-bit size
+/// computation (the paper's CVE-2004-1288-style overflow-into-malloc donor).
+pub const IMAGE_ALLOC: Scenario = Scenario {
+    name: "image-alloc-overflow",
+    source: r#"
+        fn read_u16(off: u64) -> u16 {
+            return ((input_byte(off) as u16) << 8) | (input_byte(off + 1) as u16);
+        }
+        fn main() -> u32 {
+            var width: u32 = read_u16(0) as u32;
+            var height: u32 = read_u16(2) as u32;
+            var depth: u32 = read_u16(4) as u32;
+            var size: u32 = width * height * depth;
+            var pixels: u64 = malloc(size as u64);
+            output(size as u64);
+            return 0;
+        }
+    "#,
+    error_class: ErrorClass::OverflowIntoAllocation,
+    error_input: &[0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x04],
+    benign_input: &[0x00, 0x10, 0x00, 0x10, 0x00, 0x04],
+};
+
+/// A donor that indexes a fixed-size palette with an input byte; indices past
+/// the palette end walk off the allocation (out-of-bounds read).
+pub const PALETTE_OOB: Scenario = Scenario {
+    name: "palette-oob-read",
+    source: r#"
+        fn main() -> u32 {
+            var palette: ptr<u32> = malloc(64) as ptr<u32>;
+            var i: u64 = 0;
+            while (i < 16) {
+                palette[i] = (i * 17) as u32;
+                i = i + 1;
+            }
+            var index: u64 = input_byte(0) as u64;
+            output(palette[index] as u64);
+            return 0;
+        }
+    "#,
+    error_class: ErrorClass::OutOfBounds,
+    error_input: &[200],
+    benign_input: &[7],
+};
+
+/// A donor that averages sample bytes over a count read from the header; a
+/// zero count divides by zero (the paper's swfdec/gnash class of errors).
+pub const SAMPLE_DIV: Scenario = Scenario {
+    name: "sample-rate-div",
+    source: r#"
+        fn main() -> u32 {
+            var count: u32 = input_byte(0) as u32;
+            var total: u32 = 0;
+            var i: u64 = 0;
+            while (i < (count as u64)) {
+                total = total + (input_byte(i + 1) as u32);
+                i = i + 1;
+            }
+            var mean: u32 = total / count;
+            output(mean as u64);
+            return mean;
+        }
+    "#,
+    error_class: ErrorClass::DivideByZero,
+    error_input: &[0],
+    benign_input: &[4, 10, 20, 30, 40],
+};
+
+/// A recipient-shaped program for the image scenario: parses the same header
+/// but validates nothing — the program a transferred check would protect.
+pub const IMAGE_RECIPIENT: &str = r#"
+    fn main() -> u32 {
+        var width: u32 = ((input_byte(0) as u32) << 8) | (input_byte(1) as u32);
+        var height: u32 = ((input_byte(2) as u32) << 8) | (input_byte(3) as u32);
+        var row: u64 = malloc((width * 4) as u64);
+        output(width as u64);
+        output(height as u64);
+        return 0;
+    }
+"#;
+
+/// All donor scenarios, one per error class.
+pub fn scenarios() -> [Scenario; 3] {
+    [IMAGE_ALLOC, PALETTE_OOB, SAMPLE_DIV]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_distinct_and_cover_all_classes() {
+        let all = scenarios();
+        let names: std::collections::HashSet<_> = all.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), all.len());
+        for class in [
+            ErrorClass::OutOfBounds,
+            ErrorClass::DivideByZero,
+            ErrorClass::OverflowIntoAllocation,
+        ] {
+            assert!(all.iter().any(|s| s.error_class == class));
+        }
+    }
+
+    #[test]
+    fn inputs_differ_per_scenario() {
+        for s in scenarios() {
+            assert_ne!(s.error_input, s.benign_input, "{}", s.name);
+        }
+    }
+}

@@ -1,1 +1,102 @@
-//! placeholder
+//! # cp-diode
+//!
+//! DIODE-style targeting of integer overflows at memory allocation sites.
+//!
+//! DIODE (the error-discovery tool the paper pairs with Code Phage) looks for
+//! inputs that make an arithmetic overflow flow into the size argument of an
+//! allocation.  The VM's sticky overflow flag gives this crate its detector;
+//! the helpers here classify run outcomes and rank the allocation sites whose
+//! size the input influences — the sites worth targeting with input mutation
+//! in a later PR.
+
+use cp_symexpr::{count_ops, input_support};
+use cp_taint::AllocRecord;
+use cp_vm::VmError;
+
+/// Whether an error is the one DIODE targets: an arithmetic overflow that
+/// reached an allocation size.
+pub fn is_target_error(error: &VmError) -> bool {
+    matches!(error, VmError::OverflowIntoAllocation { .. })
+}
+
+/// An allocation site whose size the input influences, ranked for targeting.
+#[derive(Debug, Clone)]
+pub struct TargetSite<'a> {
+    /// The recorded allocation.
+    pub alloc: &'a AllocRecord,
+    /// Input byte offsets flowing into the size.
+    pub support: Vec<usize>,
+    /// Operation count of the size expression (more arithmetic, more chances
+    /// to overflow).
+    pub ops: usize,
+}
+
+/// Extracts the input-influenced allocation sites from a recorded run,
+/// most-arithmetic first.
+///
+/// Only sites with a tainted size expression appear: a constant-size
+/// allocation cannot be driven to overflow by input mutation.
+pub fn target_sites(allocs: &[AllocRecord]) -> Vec<TargetSite<'_>> {
+    let mut sites: Vec<TargetSite<'_>> = allocs
+        .iter()
+        .filter_map(|alloc| {
+            let expr = alloc.size_expr.as_ref()?;
+            Some(TargetSite {
+                alloc,
+                support: input_support(expr).into_iter().collect(),
+                ops: count_ops(expr),
+            })
+        })
+        .collect();
+    sites.sort_by_key(|site| std::cmp::Reverse(site.ops));
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_symexpr::{BinOp, ExprBuild, SymExpr, Width};
+
+    #[test]
+    fn classifies_the_overflow_error() {
+        assert!(is_target_error(&VmError::OverflowIntoAllocation {
+            requested: 8
+        }));
+        assert!(!is_target_error(&VmError::DivideByZero {
+            function: 0,
+            pc: 0
+        }));
+        assert!(!is_target_error(&VmError::AllocationTooLarge {
+            requested: 1 << 40
+        }));
+    }
+
+    #[test]
+    fn ranks_tainted_sites_by_arithmetic_depth() {
+        let byte = SymExpr::input_byte(0).zext(Width::W64);
+        let shallow = AllocRecord {
+            base: 0x1000_0000,
+            size: 8,
+            size_expr: Some(byte.clone()),
+        };
+        let deep = AllocRecord {
+            base: 0x1000_1000,
+            size: 32,
+            size_expr: Some(
+                byte.binop(BinOp::Mul, SymExpr::constant(Width::W64, 4))
+                    .binop(BinOp::Add, SymExpr::constant(Width::W64, 16)),
+            ),
+        };
+        let constant = AllocRecord {
+            base: 0x1000_2000,
+            size: 64,
+            size_expr: None,
+        };
+        let allocs = [shallow, deep, constant];
+        let sites = target_sites(&allocs);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].alloc.base, 0x1000_1000);
+        assert_eq!(sites[0].support, vec![0]);
+        assert!(sites[0].ops > sites[1].ops);
+    }
+}

@@ -268,11 +268,7 @@ mod tests {
     use super::*;
 
     fn kinds(source: &str) -> Vec<TokenKind> {
-        lex(source)
-            .unwrap()
-            .into_iter()
-            .map(|t| t.kind)
-            .collect()
+        lex(source).unwrap().into_iter().map(|t| t.kind).collect()
     }
 
     #[test]

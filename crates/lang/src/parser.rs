@@ -546,7 +546,11 @@ impl Parser {
         } else {
             let token = self.peek();
             Err(LangError::new(
-                format!("expected {}, found {}", kind.describe(), token.kind.describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    token.kind.describe()
+                ),
                 token.span,
             ))
         }

@@ -71,7 +71,10 @@ impl Patch {
         let guard = parse_expr_text(&self.guard)?;
         let mut patched = program.clone();
         let function = patched.function_mut(&self.function).ok_or_else(|| {
-            LangError::general(format!("patch target function `{}` not found", self.function))
+            LangError::general(format!(
+                "patch target function `{}` not found",
+                self.function
+            ))
         })?;
         let returns_value = function.ret.is_some();
         let body = guard_body(self.action, returns_value);
@@ -134,6 +137,9 @@ fn insert_after(block: &mut Vec<Stmt>, after: usize, patch_stmt: &Stmt) -> bool 
                     }
                 }
             }
+            // A match guard would need to borrow `body` mutably, which guards
+            // cannot do, so the recursion stays in the arm body.
+            #[allow(clippy::collapsible_match)]
             StmtKind::While { body, .. } => {
                 if insert_after(body, after, patch_stmt) {
                     return true;
@@ -146,8 +152,8 @@ fn insert_after(block: &mut Vec<Stmt>, after: usize, patch_stmt: &Stmt) -> bool 
 }
 
 /// Finds the statement with id `id` in a function body, if present.
-pub fn find_statement<'a>(function: &'a Function, id: usize) -> Option<&'a Stmt> {
-    fn walk<'a>(block: &'a [Stmt], id: usize) -> Option<&'a Stmt> {
+pub fn find_statement(function: &Function, id: usize) -> Option<&Stmt> {
+    fn walk(block: &[Stmt], id: usize) -> Option<&Stmt> {
         for stmt in block {
             if stmt.id == id {
                 return Some(stmt);
@@ -254,7 +260,9 @@ mod tests {
     #[test]
     fn missing_function_or_statement_is_an_error() {
         let analyzed = frontend(RECIPIENT).unwrap();
-        assert!(Patch::exit("nope", 0, "1").apply(&analyzed.program).is_err());
+        assert!(Patch::exit("nope", 0, "1")
+            .apply(&analyzed.program)
+            .is_err());
         assert!(Patch::exit("read_header", 999, "1")
             .apply(&analyzed.program)
             .is_err());

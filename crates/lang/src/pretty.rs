@@ -76,7 +76,13 @@ pub fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
     match &stmt.kind {
         StmtKind::VarDecl { name, ty, init } => match init {
             Some(init) => {
-                let _ = writeln!(out, "var {}: {} = {};", name, print_type(ty), print_expr(init));
+                let _ = writeln!(
+                    out,
+                    "var {}: {} = {};",
+                    name,
+                    print_type(ty),
+                    print_expr(init)
+                );
             }
             None => {
                 let _ = writeln!(out, "var {}: {};", name, print_type(ty));

@@ -100,7 +100,10 @@ fn collect_signatures(program: &Program) -> Result<HashMap<String, Signature>> {
             params: function.params.iter().map(|p| p.ty.clone()).collect(),
             ret: function.ret.clone(),
         };
-        if signatures.insert(function.name.clone(), signature).is_some() {
+        if signatures
+            .insert(function.name.clone(), signature)
+            .is_some()
+        {
             return Err(LangError::new(
                 format!("duplicate function `{}`", function.name),
                 function.span,
@@ -153,9 +156,9 @@ fn layout_struct(
         }
         let size = match ty {
             Type::Struct(inner) => {
-                let inner_def = defs.get(inner.as_str()).ok_or_else(|| {
-                    LangError::new(format!("unknown struct `{inner}`"), def.span)
-                })?;
+                let inner_def = defs
+                    .get(inner.as_str())
+                    .ok_or_else(|| LangError::new(format!("unknown struct `{inner}`"), def.span))?;
                 layout_struct(inner_def, defs, debug, visiting)?
             }
             other => debug.size_of(other),
@@ -404,14 +407,14 @@ impl<'a> FunctionChecker<'a> {
 
     fn check_lvalue(&mut self, expr: &mut Expr) -> Result<Type> {
         match &expr.kind {
-            ExprKind::Var(_) | ExprKind::Field { .. } | ExprKind::Index { .. } | ExprKind::Deref(_) => {
+            ExprKind::Var(_)
+            | ExprKind::Field { .. }
+            | ExprKind::Index { .. }
+            | ExprKind::Deref(_) => {
                 self.check_expr(expr, None)?;
                 Ok(expr.ty().clone())
             }
-            _ => Err(LangError::new(
-                "expression is not assignable",
-                expr.span,
-            )),
+            _ => Err(LangError::new("expression is not assignable", expr.span)),
         }
     }
 
@@ -599,11 +602,9 @@ impl<'a> FunctionChecker<'a> {
                         ))
                     }
                 };
-                let layout = self
-                    .debug
-                    .structs
-                    .get(&struct_name)
-                    .ok_or_else(|| LangError::new(format!("unknown struct `{struct_name}`"), span))?;
+                let layout = self.debug.structs.get(&struct_name).ok_or_else(|| {
+                    LangError::new(format!("unknown struct `{struct_name}`"), span)
+                })?;
                 let field_layout = layout.field(field).ok_or_else(|| {
                     LangError::new(
                         format!("struct `{struct_name}` has no field `{field}`"),

@@ -186,7 +186,10 @@ mod tests {
 
     #[test]
     fn describes_tokens_for_error_messages() {
-        assert_eq!(TokenKind::Ident("foo".into()).describe(), "identifier `foo`");
+        assert_eq!(
+            TokenKind::Ident("foo".into()).describe(),
+            "identifier `foo`"
+        );
         assert_eq!(TokenKind::Int(42).describe(), "integer `42`");
         assert_eq!(TokenKind::Arrow.describe(), "`->`");
         assert_eq!(TokenKind::Eof.describe(), "end of input");

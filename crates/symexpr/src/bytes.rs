@@ -90,7 +90,12 @@ pub fn decompose(expr: &SymExpr) -> Option<ByteVector> {
                 }
             }
         }
-        SymExpr::Binary { op, width, lhs, rhs } => match op {
+        SymExpr::Binary {
+            op,
+            width,
+            lhs,
+            rhs,
+        } => match op {
             BinOp::Or | BinOp::Xor | BinOp::Add => {
                 // Or / xor / add of byte-disjoint values behaves as a
                 // concatenation: whenever at least one side of each byte is a
@@ -98,7 +103,7 @@ pub fn decompose(expr: &SymExpr) -> Option<ByteVector> {
                 let a = pad(decompose(lhs)?, width.bytes());
                 let b = pad(decompose(rhs)?, width.bytes());
                 let mut out = Vec::with_capacity(width.bytes());
-                for (x, y) in a.into_iter().zip(b.into_iter()) {
+                for (x, y) in a.into_iter().zip(b) {
                     out.push(match (x, y) {
                         (ByteVal::Known(p), ByteVal::Known(q)) => match op {
                             BinOp::Or => ByteVal::Known(p | q),
@@ -127,7 +132,10 @@ pub fn decompose(expr: &SymExpr) -> Option<ByteVector> {
                 let shift_bytes = (amount / 8) as usize;
                 let inner = pad(decompose(lhs)?, width.bytes());
                 let mut out = vec![ByteVal::Known(0); shift_bytes.min(width.bytes())];
-                for byte in inner.into_iter().take(width.bytes().saturating_sub(shift_bytes)) {
+                for byte in inner
+                    .into_iter()
+                    .take(width.bytes().saturating_sub(shift_bytes))
+                {
                     out.push(byte);
                 }
                 out.truncate(width.bytes());

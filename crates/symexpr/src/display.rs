@@ -32,7 +32,12 @@ fn write_expr(expr: &SymExpr, out: &mut String) {
             write_expr(arg, out);
             out.push(')');
         }
-        SymExpr::Binary { op, width, lhs, rhs } => {
+        SymExpr::Binary {
+            op,
+            width,
+            lhs,
+            rhs,
+        } => {
             out.push_str(&format!("{}({width},", op.mnemonic()));
             write_expr(lhs, out);
             out.push(',');

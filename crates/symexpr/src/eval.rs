@@ -70,8 +70,17 @@ pub fn eval<E: ByteEnv + ?Sized>(expr: &SymExpr, env: &E) -> u64 {
                 }
             }
         }
-        SymExpr::Binary { op, width, lhs, rhs } => {
-            let operand_width = if op.is_comparison() { lhs.width() } else { *width };
+        SymExpr::Binary {
+            op,
+            width,
+            lhs,
+            rhs,
+        } => {
+            let operand_width = if op.is_comparison() {
+                lhs.width()
+            } else {
+                *width
+            };
             let a = operand_width.truncate(eval(lhs.as_ref(), env));
             let b = operand_width.truncate(eval(rhs.as_ref(), env));
             eval_binop(*op, operand_width, a, b)
@@ -96,13 +105,7 @@ pub fn eval_binop(op: BinOp, width: Width, a: u64, b: u64) -> u64 {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
         BinOp::Mul => a.wrapping_mul(b),
-        BinOp::DivU => {
-            if b == 0 {
-                width.mask()
-            } else {
-                a / b
-            }
-        }
+        BinOp::DivU => a.checked_div(b).unwrap_or_else(|| width.mask()),
         BinOp::DivS => {
             if b == 0 {
                 width.mask()
@@ -202,7 +205,8 @@ mod tests {
         let b = SymExpr::constant(Width::W8, 0x01);
         let cmp = a.binop(BinOp::LtS, b);
         assert_eq!(eval(&cmp, &env(&[])), 1);
-        let cmp_u = SymExpr::constant(Width::W8, 0xFF).binop(BinOp::LtU, SymExpr::constant(Width::W8, 1));
+        let cmp_u =
+            SymExpr::constant(Width::W8, 0xFF).binop(BinOp::LtU, SymExpr::constant(Width::W8, 1));
         assert_eq!(eval(&cmp_u, &env(&[])), 0);
     }
 

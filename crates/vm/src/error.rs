@@ -95,7 +95,10 @@ impl fmt::Display for VmError {
             VmError::StepLimitExceeded => write!(f, "step limit exceeded"),
             VmError::CallDepthExceeded => write!(f, "call depth exceeded"),
             VmError::AllocationTooLarge { requested } => {
-                write!(f, "allocation of {requested} bytes exceeds the configured maximum")
+                write!(
+                    f,
+                    "allocation of {requested} bytes exceeds the configured maximum"
+                )
             }
             VmError::InvalidBytecode(message) => write!(f, "invalid bytecode: {message}"),
         }

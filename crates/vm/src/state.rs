@@ -2,7 +2,8 @@
 
 use crate::error::VmError;
 use crate::{GLOBAL_BASE, HEAP_BASE, HEAP_GUARD, STACK_BASE, STACK_SIZE};
-use cp_symexpr::{ExprRef, Width};
+use cp_symexpr::bytes::{recompose, ByteVal};
+use cp_symexpr::{BinOp, ExprBuild, ExprRef, SymExpr, Width};
 use std::collections::HashMap;
 
 /// A concrete runtime value on the operand stack.
@@ -207,11 +208,7 @@ impl MachineState {
             return Ok(());
         }
         if addr >= HEAP_BASE {
-            if self
-                .allocations
-                .iter()
-                .any(|a| a.contains_range(addr, len))
-            {
+            if self.allocations.iter().any(|a| a.contains_range(addr, len)) {
                 return Ok(());
             }
             return Err(VmError::OutOfBounds { addr, len, write });
@@ -249,20 +246,114 @@ impl MachineState {
     }
 
     /// Records the symbolic shadow of a stored value (or clears it).
+    ///
+    /// Every shadow entry overlapping `[addr, addr + width)` is invalidated
+    /// first: a store overwrites those bytes, so a wider entry recorded
+    /// earlier would otherwise keep describing memory that no longer holds
+    /// its value.  Bytes of an invalidated entry that the store does *not*
+    /// overwrite keep their taint as byte-wide entries, so partial aliased
+    /// overwrites neither leave stale expressions nor drop taint.  This
+    /// maintains the invariant that at most one entry covers any byte, which
+    /// [`MachineState::load_shadow`] relies on.
     pub fn set_shadow(&mut self, addr: u64, width: Width, expr: Option<ExprRef>) {
-        match expr {
-            Some(expr) => {
-                self.shadow.insert(addr, (width, expr));
+        let end = addr + width.bytes() as u64;
+        // Entries start at most 7 bytes before `addr` (the widest value is 8
+        // bytes), and any entry starting inside the range overlaps.
+        let mut evicted: Vec<(u64, Width, ExprRef)> = Vec::new();
+        for start in addr.saturating_sub(7)..end {
+            if start >= addr {
+                if let Some((w, e)) = self.shadow.remove(&start) {
+                    evicted.push((start, w, e));
+                }
+                continue;
             }
-            None => {
-                self.shadow.remove(&addr);
+            if let Some((w, _)) = self.shadow.get(&start) {
+                if start + w.bytes() as u64 > addr {
+                    let (w, e) = self.shadow.remove(&start).expect("entry just probed");
+                    evicted.push((start, w, e));
+                }
             }
+        }
+        // Re-shadow the surviving bytes of evicted entries, byte by byte.
+        for (start, w, e) in evicted {
+            for offset in 0..w.bytes() as u64 {
+                let byte_addr = start + offset;
+                if (addr..end).contains(&byte_addr) {
+                    continue;
+                }
+                let byte = if offset == 0 {
+                    e.clone()
+                } else {
+                    e.binop(BinOp::ShrU, SymExpr::constant(w, 8 * offset))
+                };
+                self.shadow
+                    .insert(byte_addr, (Width::W8, byte.truncate(Width::W8)));
+            }
+        }
+        if let Some(expr) = expr {
+            self.shadow.insert(addr, (width, expr));
         }
     }
 
     /// The symbolic shadow recorded at `addr`, if any.
     pub fn shadow_at(&self, addr: u64) -> Option<&(Width, ExprRef)> {
         self.shadow.get(&addr)
+    }
+
+    /// The 8-bit symbolic expression describing the single byte at `addr`,
+    /// extracted from whichever shadow entry covers it.
+    fn shadow_byte(&self, addr: u64) -> Option<ExprRef> {
+        for start in addr.saturating_sub(7)..=addr {
+            let Some((width, expr)) = self.shadow.get(&start) else {
+                continue;
+            };
+            if start + width.bytes() as u64 <= addr {
+                continue;
+            }
+            let offset = addr - start;
+            let byte = if offset == 0 {
+                expr.clone()
+            } else {
+                expr.binop(BinOp::ShrU, SymExpr::constant(*width, 8 * offset))
+            };
+            return Some(byte.truncate(Width::W8));
+        }
+        None
+    }
+
+    /// The symbolic shadow of a `width`-byte load at `addr`, reconstructed
+    /// byte-accurately.
+    ///
+    /// A load that exactly matches a recorded store reuses its expression;
+    /// otherwise the result is recomposed from the per-byte shadows of every
+    /// covering entry, with untainted bytes contributed as the constants
+    /// currently in memory.  Returns `None` when no loaded byte is tainted.
+    pub fn load_shadow(&self, addr: u64, width: Width) -> Option<ExprRef> {
+        if let Some((w, expr)) = self.shadow.get(&addr) {
+            if *w == width {
+                return Some(expr.clone());
+            }
+        }
+        let mut bytes = Vec::with_capacity(width.bytes());
+        let mut tainted = false;
+        for i in 0..width.bytes() {
+            let byte_addr = addr + i as u64;
+            match self.shadow_byte(byte_addr) {
+                Some(expr) => {
+                    tainted = true;
+                    bytes.push(ByteVal::Sym(expr));
+                }
+                None => {
+                    let concrete = self.memory.get(&byte_addr).copied().unwrap_or(0);
+                    bytes.push(ByteVal::Known(concrete));
+                }
+            }
+        }
+        if tainted {
+            Some(recompose(&bytes, width))
+        } else {
+            None
+        }
     }
 
     /// Marks or clears the overflow flag for a stored value.
@@ -292,7 +383,10 @@ impl MachineState {
             return Err(VmError::AllocationTooLarge { requested: size });
         }
         let base = self.heap_top;
-        self.heap_top = self.heap_top.saturating_add(size.max(1)).saturating_add(HEAP_GUARD);
+        self.heap_top = self
+            .heap_top
+            .saturating_add(size.max(1))
+            .saturating_add(HEAP_GUARD);
         self.allocations.push(Allocation { base, size });
         Ok(base)
     }
@@ -339,7 +433,11 @@ impl MachineState {
             memory: self.memory.clone(),
             shadow: self.shadow.clone(),
             allocations: self.allocations.clone(),
-            frame_base: self.frames.last().map(|f| f.frame_base).unwrap_or(STACK_BASE),
+            frame_base: self
+                .frames
+                .last()
+                .map(|f| f.frame_base)
+                .unwrap_or(STACK_BASE),
             globals_base: GLOBAL_BASE,
             globals_size: self.globals_size,
         }
@@ -433,5 +531,72 @@ mod tests {
         assert!(snap.shadow_at(GLOBAL_BASE).is_some());
         assert!(snap.is_mapped(GLOBAL_BASE));
         assert!(!snap.is_mapped(HEAP_BASE + 100));
+    }
+
+    #[test]
+    fn overlapping_store_invalidates_stale_wider_shadow() {
+        use cp_symexpr::eval::eval;
+        let mut state = MachineState::new(16);
+        // A tainted 32-bit store, then an untainted byte store into its
+        // second byte: the stale 4-byte expression must not survive, but the
+        // three untouched bytes keep their taint.
+        let input = [5u8];
+        state.store(GLOBAL_BASE, Width::W32, 5).unwrap();
+        state.set_shadow(
+            GLOBAL_BASE,
+            Width::W32,
+            Some(SymExpr::input_byte(0).zext(Width::W32)),
+        );
+        state.store(GLOBAL_BASE + 1, Width::W8, 7).unwrap();
+        state.set_shadow(GLOBAL_BASE + 1, Width::W8, None);
+        // Memory now holds 0x0705; the reconstructed shadow must agree.
+        let concrete = state.load(GLOBAL_BASE, Width::W32).unwrap();
+        assert_eq!(concrete, 0x0705);
+        let expr = state
+            .load_shadow(GLOBAL_BASE, Width::W32)
+            .expect("untouched bytes stay tainted");
+        assert_eq!(eval(&expr, &input[..]), concrete);
+    }
+
+    #[test]
+    fn narrow_load_extracts_byte_of_wider_shadow() {
+        use cp_symexpr::eval::eval;
+        let mut state = MachineState::new(16);
+        // Store a tainted 16-bit value (b0 << 8 | b1 little-endian layout:
+        // byte 0 holds b1's position).  Loading one byte must keep taint.
+        let expr = SymExpr::input_byte(0)
+            .zext(Width::W16)
+            .binop(BinOp::Shl, SymExpr::constant(Width::W16, 8))
+            .binop(BinOp::Or, SymExpr::input_byte(1).zext(Width::W16));
+        state.store(GLOBAL_BASE, Width::W16, 0x1234).unwrap();
+        state.set_shadow(GLOBAL_BASE, Width::W16, Some(expr.clone()));
+        let input = [0x12u8, 0x34];
+        let low = state
+            .load_shadow(GLOBAL_BASE, Width::W8)
+            .expect("low byte stays tainted");
+        let high = state
+            .load_shadow(GLOBAL_BASE + 1, Width::W8)
+            .expect("high byte stays tainted");
+        assert_eq!(eval(&low, &input[..]), 0x34);
+        assert_eq!(eval(&high, &input[..]), 0x12);
+    }
+
+    #[test]
+    fn wide_load_recomposes_tainted_and_concrete_bytes() {
+        use cp_symexpr::eval::eval;
+        use cp_symexpr::input_support;
+        let mut state = MachineState::new(16);
+        state.store(GLOBAL_BASE, Width::W16, 0x0007).unwrap();
+        state.set_shadow(GLOBAL_BASE, Width::W8, Some(SymExpr::input_byte(5)));
+        let expr = state
+            .load_shadow(GLOBAL_BASE, Width::W16)
+            .expect("one tainted byte taints the word");
+        // Byte 0 is symbolic, byte 1 is the concrete 0x00 from memory.
+        let input = [0u8, 0, 0, 0, 0, 0x42];
+        assert_eq!(eval(&expr, &input[..]), 0x42);
+        assert_eq!(
+            input_support(&expr).into_iter().collect::<Vec<_>>(),
+            vec![5]
+        );
     }
 }

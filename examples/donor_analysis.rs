@@ -1,0 +1,61 @@
+//! Demonstrates the donor-side analysis through the public pipeline API:
+//! record an instrumented run, inspect the detected error, and print the
+//! candidate checks in the paper's notation.
+//!
+//! ```text
+//! cargo run --example donor_analysis
+//! ```
+
+use code_phage::{PipelineError, Session};
+
+fn main() -> Result<(), PipelineError> {
+    let source = r#"
+        fn read_u16(off: u64) -> u16 {
+            return ((input_byte(off) as u16) << 8) | (input_byte(off + 1) as u16);
+        }
+        fn main() -> u32 {
+            var width: u32 = read_u16(0) as u32;
+            var height: u32 = read_u16(2) as u32;
+            if (width == 0) { exit(1); }
+            var size: u32 = width * height * 4;
+            var pixels: u64 = malloc(size as u64);
+            output(size as u64);
+            return 0;
+        }
+    "#;
+
+    // A malicious header: 0xFFFF x 0xFFFF overflows the 32-bit size.
+    let mut session = Session::builder().source(source).build()?;
+    let trace = session.record_with_input(&[0xFF, 0xFF, 0xFF, 0xFF]);
+
+    match trace.last_error() {
+        Some(error) => println!("error input -> {error}"),
+        None => println!("error input -> ran cleanly (unexpected)"),
+    }
+
+    println!("branches influenced by header bytes 0-3:");
+    for branch in trace.branches_influenced_by(&[0, 1, 2, 3]) {
+        println!(
+            "  fn {} pc {} taken={}",
+            branch.function, branch.pc, branch.taken
+        );
+    }
+
+    println!("candidate checks (application-independent form):");
+    for check in trace.checks() {
+        println!(
+            "  {} ({} ops -> {} ops)",
+            check.condition,
+            check.raw_ops(),
+            check.simplified_ops()
+        );
+    }
+
+    // The benign input parses cleanly through the same session.
+    let benign = session.record_with_input(&[0x00, 0x10, 0x00, 0x10]);
+    println!(
+        "benign input -> {:?}, outputs {:?}",
+        benign.termination, benign.outputs
+    );
+    Ok(())
+}

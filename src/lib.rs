@@ -1,1 +1,22 @@
-//! placeholder
+//! # code-phage
+//!
+//! Umbrella crate for the Code Phage reproduction
+//! (Sidiroglou-Douskos et al., *Automatic Error Elimination by Horizontal
+//! Code Transfer across Multiple Applications*, PLDI 2015).
+//!
+//! The pipeline entry point lives in [`cp_core`]; this crate re-exports it so
+//! downstream users depend on one name:
+//!
+//! ```
+//! use code_phage::Session;
+//!
+//! let trace = Session::builder()
+//!     .source("fn main() -> u32 { return 6 * 7; }")
+//!     .record()?;
+//! assert!(trace.last_error().is_none());
+//! # Ok::<(), code_phage::PipelineError>(())
+//! ```
+//!
+//! See the repository `README.md` for the crate map.
+
+pub use cp_core::*;
