@@ -2,11 +2,12 @@
 //! instrumented trace on the error input and extract the candidate checks —
 //! the work behind each row of the paper's Figure 8.
 
-use cp_bench::harness::{bench, section};
+use cp_bench::harness::{bench, emit, section};
 use cp_core::Session;
 
 fn main() {
     section("fig8 pairs (record + check extraction per scenario)");
+    let mut results = Vec::new();
     for scenario in cp_corpus::scenarios() {
         let mut session = Session::builder()
             .source(scenario.source)
@@ -17,5 +18,7 @@ fn main() {
             trace.checks().len()
         });
         println!("{}", m.report());
+        results.push(m);
     }
+    emit("fig8_pairs", &results);
 }

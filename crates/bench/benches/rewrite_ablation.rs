@@ -2,7 +2,7 @@
 //! rules over the checks recorded from the corpus — the paper's observation
 //! that the bit-manipulation rules are what keep excised expressions small.
 
-use cp_bench::harness::{bench, section};
+use cp_bench::harness::{bench, emit, section};
 use cp_core::Session;
 use cp_symexpr::rewrite::{simplify_with, SimplifyOptions};
 
@@ -15,10 +15,11 @@ fn main() {
             .input(scenario.benign_input)
             .record()
             .expect("corpus programs compile");
-        conditions.extend(trace.checks().into_iter().map(|c| c.raw));
+        conditions.extend(trace.checks().iter().map(|c| c.raw));
     }
     println!("conditions: {}", conditions.len());
 
+    let mut results = Vec::new();
     for (name, options) in [
         ("simplify/full", SimplifyOptions::full()),
         (
@@ -34,12 +35,14 @@ fn main() {
                 .sum::<usize>()
         });
         println!("{}", m.report());
+        results.push(m);
     }
+    emit("rewrite_ablation", &results);
 
     let full: usize = conditions
         .iter()
         .map(|c| cp_symexpr::count_ops(&simplify_with(c, SimplifyOptions::full())))
         .sum();
-    let none: usize = conditions.iter().map(|c| cp_symexpr::count_ops(c)).sum();
+    let none: usize = conditions.iter().map(cp_symexpr::count_ops).sum();
     println!("total ops: raw {none} -> simplified {full}");
 }

@@ -2,7 +2,7 @@
 //! equivalence queries — the paper's "most pairs never reach the solver"
 //! observation (Section 3.3).
 
-use cp_bench::harness::{bench, section};
+use cp_bench::harness::{bench, emit, section};
 use cp_core::Session;
 use cp_solver::{disjoint_support, SampleSolver};
 use cp_symexpr::ExprRef;
@@ -16,11 +16,11 @@ fn main() {
             .input(scenario.benign_input)
             .record()
             .expect("corpus programs compile");
-        conditions.extend(trace.checks().into_iter().map(|c| c.condition));
+        conditions.extend(trace.checks().iter().map(|c| c.condition()));
     }
     let pairs: Vec<(ExprRef, ExprRef)> = conditions
         .iter()
-        .flat_map(|a| conditions.iter().map(move |b| (a.clone(), b.clone())))
+        .flat_map(|a| conditions.iter().map(move |b| (*a, *b)))
         .collect();
     println!("pairs: {}", pairs.len());
 
@@ -45,4 +45,5 @@ fn main() {
             .count()
     });
     println!("{}", gated.report());
+    emit("solver_ablation", &[fast, sampled, gated]);
 }

@@ -2,7 +2,7 @@
 //! execution over a bare run of the same program — the reproduction's
 //! equivalent of the paper's Valgrind instrumentation cost.
 
-use cp_bench::harness::{bench, section};
+use cp_bench::harness::{bench, emit, section};
 use cp_bytecode::compile;
 use cp_core::Session;
 use cp_lang::frontend;
@@ -10,6 +10,7 @@ use cp_vm::{run, RunConfig};
 
 fn main() {
     section("taint overhead (bare VM vs recorded Session)");
+    let mut results = Vec::new();
     for scenario in cp_corpus::scenarios() {
         let program = compile(&frontend(scenario.source).unwrap()).unwrap();
         let bare = bench(&format!("{}/bare", scenario.name), 10, 200, || {
@@ -26,5 +27,8 @@ fn main() {
             format!("{}/overhead", scenario.name),
             recorded.ns_per_iter / bare.ns_per_iter
         );
+        results.push(bare);
+        results.push(recorded);
     }
+    emit("taint_overhead", &results);
 }

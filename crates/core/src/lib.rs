@@ -40,13 +40,14 @@
 
 use cp_bytecode::{compile, CompileError, CompiledProgram};
 use cp_lang::{frontend, LangError};
-use cp_symexpr::{input_support, rewrite, ExprRef};
+use cp_symexpr::{rewrite, ExprRef};
 use cp_taint::{AllocRecord, BranchRecord, CallRecord, InputReadRecord, TraceRecorder};
 use cp_vm::{
     run_with_observer, BranchEvent, MachineState, Observer, RunConfig, StmtEndEvent, Termination,
     Value, VmError,
 };
 use std::fmt;
+use std::sync::OnceLock;
 
 pub use cp_taint::TraceRecorder as Recorder;
 pub use cp_vm::RunConfig as VmRunConfig;
@@ -96,6 +97,11 @@ impl From<CompileError> for PipelineError {
 /// A candidate check extracted from a recorded branch: the paper's
 /// application-independent representation of a validation the program
 /// performed on its input.
+///
+/// The simplified condition is materialised lazily: extracting the check
+/// list from a long trace costs nothing until a consumer actually asks for a
+/// [`condition`](Check::condition), and the result is cached on the check
+/// (and memoised per node in the thread's arena) thereafter.
 #[derive(Debug, Clone)]
 pub struct Check {
     /// Function index of the branch site.
@@ -106,25 +112,33 @@ pub struct Check {
     pub taken: bool,
     /// The symbolic condition exactly as recorded.
     pub raw: ExprRef,
-    /// The condition after `cp_symexpr::rewrite` simplification — the form
-    /// whose size the paper reports in Figure 8.
-    pub condition: ExprRef,
+    /// Lazily simplified condition (see [`condition`](Check::condition)).
+    simplified: OnceLock<ExprRef>,
 }
 
 impl Check {
-    /// Operation count of the recorded condition (Figure 8 "before").
+    /// The condition after `cp_symexpr::rewrite` simplification — the form
+    /// whose size the paper reports in Figure 8.
+    ///
+    /// Simplified on first call, cached afterwards; handles are `Copy`.
+    pub fn condition(&self) -> ExprRef {
+        *self.simplified.get_or_init(|| rewrite::simplify(&self.raw))
+    }
+
+    /// Operation count of the recorded condition (Figure 8 "before") —
+    /// served from the arena's memoised node metadata.
     pub fn raw_ops(&self) -> usize {
-        cp_symexpr::count_ops(&self.raw)
+        self.raw.op_count()
     }
 
     /// Operation count of the simplified condition (Figure 8 "after").
     pub fn simplified_ops(&self) -> usize {
-        cp_symexpr::count_ops(&self.condition)
+        self.condition().op_count()
     }
 
     /// The input byte offsets the check constrains.
     pub fn support(&self) -> Vec<usize> {
-        input_support(&self.condition).into_iter().collect()
+        self.condition().support().iter().collect()
     }
 }
 
@@ -147,6 +161,8 @@ pub struct Trace {
     pub termination: Termination,
     /// Instructions executed.
     pub steps: u64,
+    /// Lazily built candidate-check list (see [`Trace::checks`]).
+    checks: OnceLock<Vec<Check>>,
 }
 
 impl Trace {
@@ -171,29 +187,35 @@ impl Trace {
     }
 
     /// Candidate checks: one per distinct branch site whose condition the
-    /// input influenced, in first-execution order, with the condition
-    /// simplified to its application-independent form.
+    /// input influenced, in first-execution order.
     ///
     /// A site executed many times (e.g. a loop bound) contributes the record
     /// of its first execution; later iterations observe the same check with
     /// different loop-carried constants.
-    pub fn checks(&self) -> Vec<Check> {
-        let mut seen = std::collections::HashSet::new();
-        let mut checks = Vec::new();
-        for branch in &self.branches {
-            let Some(expr) = &branch.expr else { continue };
-            if !seen.insert((branch.function, branch.pc)) {
-                continue;
+    ///
+    /// The list is built on first call and cached; each check's simplified
+    /// application-independent condition is further deferred until
+    /// [`Check::condition`] is asked for, so scanning a long trace for check
+    /// *sites* never pays for simplification.
+    pub fn checks(&self) -> &[Check] {
+        self.checks.get_or_init(|| {
+            let mut seen = std::collections::HashSet::new();
+            let mut checks = Vec::new();
+            for branch in &self.branches {
+                let Some(expr) = &branch.expr else { continue };
+                if !seen.insert((branch.function, branch.pc)) {
+                    continue;
+                }
+                checks.push(Check {
+                    function: branch.function,
+                    pc: branch.pc,
+                    taken: branch.taken,
+                    raw: *expr,
+                    simplified: OnceLock::new(),
+                });
             }
-            checks.push(Check {
-                function: branch.function,
-                pc: branch.pc,
-                taken: branch.taken,
-                raw: expr.clone(),
-                condition: rewrite::simplify(expr),
-            });
-        }
-        checks
+            checks
+        })
     }
 }
 
@@ -347,6 +369,7 @@ impl Session {
             outputs: result.outputs,
             termination: result.termination,
             steps: result.steps,
+            checks: OnceLock::new(),
         }
     }
 }

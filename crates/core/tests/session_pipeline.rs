@@ -159,7 +159,7 @@ fn golden_big_endian_field_check() {
     // Folding through the format descriptor yields the paper's single-field
     // form: `width > 16384` was compiled as `16384 < width`.
     let format = FormatDescriptor::new().field("/hdr/width", vec![0, 1]);
-    let folded = format.fold(&check.condition);
+    let folded = format.fold(&check.condition());
     assert_eq!(
         paper_format(&folded),
         "ULess(8,Constant(16384),HachField(16,'/hdr/width'))"

@@ -77,7 +77,7 @@ mod tests {
         let shallow = AllocRecord {
             base: 0x1000_0000,
             size: 8,
-            size_expr: Some(byte.clone()),
+            size_expr: Some(byte),
         };
         let deep = AllocRecord {
             base: 0x1000_1000,

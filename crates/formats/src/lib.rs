@@ -14,7 +14,6 @@
 
 use cp_symexpr::bytes::{decompose, ByteVal};
 use cp_symexpr::{ExprBuild, ExprRef, SymExpr, Width};
-use std::sync::Arc;
 
 /// One named field of an input format.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,28 +82,22 @@ pub fn fold_fields(expr: &ExprRef, format: &FormatDescriptor) -> ExprRef {
         return folded;
     }
     match expr.as_ref() {
-        SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => expr.clone(),
-        SymExpr::Unary { op, width, arg } => Arc::new(SymExpr::Unary {
-            op: *op,
-            width: *width,
-            arg: fold_fields(arg, format),
-        }),
+        SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => *expr,
+        SymExpr::Unary { op, width, arg } => SymExpr::unary(*op, *width, fold_fields(arg, format)),
         SymExpr::Binary {
             op,
             width,
             lhs,
             rhs,
-        } => Arc::new(SymExpr::Binary {
-            op: *op,
-            width: *width,
-            lhs: fold_fields(lhs, format),
-            rhs: fold_fields(rhs, format),
-        }),
-        SymExpr::Cast { kind, width, arg } => Arc::new(SymExpr::Cast {
-            kind: *kind,
-            width: *width,
-            arg: fold_fields(arg, format),
-        }),
+        } => SymExpr::binary(
+            *op,
+            *width,
+            fold_fields(lhs, format),
+            fold_fields(rhs, format),
+        ),
+        SymExpr::Cast { kind, width, arg } => {
+            SymExpr::cast(*kind, *width, fold_fields(arg, format))
+        }
     }
 }
 

@@ -17,8 +17,7 @@
 //!   equal, and a later PR can slot a real solver behind the same API.
 
 use cp_symexpr::eval::eval;
-use cp_symexpr::{input_support, SymExpr};
-use std::collections::BTreeSet;
+use cp_symexpr::ExprRef;
 
 /// The verdict of an equivalence query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,9 +42,11 @@ impl Equivalence {
 ///
 /// This is the fast path that lets translation skip solver invocations: a
 /// donor field and a recipient expression with disjoint support cannot be the
-/// same value unless both are constant.
-pub fn disjoint_support(a: &SymExpr, b: &SymExpr) -> bool {
-    input_support(a).is_disjoint(&input_support(b))
+/// same value unless both are constant.  Both support sets come from the
+/// arena's memoised per-node metadata, so the predicate never re-walks the
+/// expressions.
+pub fn disjoint_support(a: &ExprRef, b: &ExprRef) -> bool {
+    a.support().is_disjoint(b.support())
 }
 
 /// A sampling-based refutation engine for equivalence queries.
@@ -81,10 +82,10 @@ impl SampleSolver {
     /// first samples are not random — the all-zeros, all-ones and
     /// single-byte-extremes environments catch most boundary disagreements
     /// before the pseudo-random stream starts.
-    pub fn equivalent(&self, a: &SymExpr, b: &SymExpr) -> Equivalence {
-        let mut support: BTreeSet<usize> = input_support(a);
-        support.extend(input_support(b));
-        let offsets: Vec<usize> = support.into_iter().collect();
+    pub fn equivalent(&self, a: &ExprRef, b: &ExprRef) -> Equivalence {
+        let mut offsets: Vec<usize> = a.support().iter().chain(b.support().iter()).collect();
+        offsets.sort_unstable();
+        offsets.dedup();
 
         let mut env: Vec<(usize, u8)> = offsets.iter().map(|&o| (o, 0)).collect();
         let check = |env: &[(usize, u8)]| -> Option<Equivalence> {
@@ -133,9 +134,9 @@ impl SampleSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cp_symexpr::{BinOp, ExprBuild, Width};
+    use cp_symexpr::{BinOp, ExprBuild, SymExpr, Width};
 
-    fn be16(hi: usize, lo: usize) -> std::sync::Arc<SymExpr> {
+    fn be16(hi: usize, lo: usize) -> ExprRef {
         SymExpr::input_byte(hi)
             .zext(Width::W16)
             .binop(BinOp::Shl, SymExpr::constant(Width::W16, 8))

@@ -1,0 +1,274 @@
+//! The hash-consed expression arena.
+//!
+//! Shadow propagation builds a symbolic expression for every value the
+//! instrumented program computes, and the same subexpression (a parsed header
+//! field, a running checksum) flows into thousands of downstream values.  The
+//! arena deduplicates those nodes: every [`SymExpr`] is *interned* — looked up
+//! structurally and allocated exactly once per thread — and handed back as a
+//! [`ExprRef`], a `Copy` handle carrying a stable [`ExprId`].
+//!
+//! # Invariants
+//!
+//! * **Canonical**: within one thread, structurally equal expressions intern
+//!   to the same node, so `ExprRef` equality (a pointer compare) *is*
+//!   structural equality, and `Const` values are truncated to their width
+//!   before interning.
+//! * **Immutable and immortal**: nodes are leaked ([`Box::leak`]) so handles
+//!   are `'static`, trivially `Copy`, and safe to move across threads.
+//!   Deduplication bounds the leak by the number of *distinct* expressions a
+//!   process builds; [`ExprArena::node_count`] exposes it.
+//! * **Memoised metadata**: width, taintedness, node/op counts and the
+//!   input-support byte-offset bitset are computed once at intern time from
+//!   the children's metadata (O(1) per intern), so the classic O(tree) walks
+//!   (`count_ops`, `input_support`, `branches_influenced_by`, the solver's
+//!   disjoint-support fast path) become O(1) lookups.
+//!
+//! Interning is per thread: two threads interning the same structure get
+//! distinct nodes, so cross-thread `ExprRef` comparisons can report unequal
+//! for structurally equal expressions (never the reverse).  Run one pipeline
+//! per thread — the `cp-core` `Session` API already works that way.
+
+use crate::expr::{ExprRef, SymExpr};
+use crate::support::SupportSet;
+use crate::width::Width;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The stable per-thread identity of an interned expression node.
+///
+/// Ids are dense (`0..ExprArena::node_count()`) and assigned in intern
+/// order.  They identify a node *within one thread's arena*; the memoising
+/// passes (simplification, byte decomposition) key their caches by the
+/// node's immortal address instead, which stays collision-free when handles
+/// cross threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExprId(pub(crate) u32);
+
+impl ExprId {
+    /// The dense index of the node within its thread's arena.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Metadata memoised on every node at intern time.
+#[derive(Debug)]
+pub(crate) struct Meta {
+    /// Result width of the node.
+    pub width: Width,
+    /// Whether any leaf is an input byte or field.
+    pub tainted: bool,
+    /// Nodes in the expression *tree* (with sharing multiplied out), saturating.
+    pub node_count: u64,
+    /// Operator nodes in the expression tree, saturating.
+    pub op_count: u64,
+    /// Input byte offsets the expression depends on.  Shared via [`Arc`] so
+    /// unary/cast chains reuse their child's set instead of copying it.
+    pub support: Arc<SupportSet>,
+}
+
+/// One interned node: the structural expression plus its memoised metadata.
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub id: ExprId,
+    pub expr: SymExpr,
+    pub meta: Meta,
+}
+
+#[derive(Default)]
+struct ArenaState {
+    /// Structural lookup: children inside the key compare by node pointer,
+    /// which is exactly hash-consing (children are already canonical).
+    map: HashMap<SymExpr, ExprRef>,
+    /// Dense id → node handle.
+    nodes: Vec<ExprRef>,
+}
+
+thread_local! {
+    static ARENA: RefCell<ArenaState> = RefCell::new(ArenaState::default());
+}
+
+/// Handle to the calling thread's expression arena.
+///
+/// The arena itself is thread-local state; this zero-sized type namespaces
+/// the operations on it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExprArena;
+
+impl ExprArena {
+    /// Interns `expr`, returning the canonical handle for its structure.
+    ///
+    /// Children of `expr` must already be interned handles (they always are:
+    /// `ExprRef` is the only way to hold a child).  `Const` values are
+    /// truncated to their width so equal constants are equal nodes.
+    pub fn intern(expr: SymExpr) -> ExprRef {
+        let expr = match expr {
+            SymExpr::Const { width, value } => SymExpr::Const {
+                width,
+                value: width.truncate(value),
+            },
+            other => other,
+        };
+        ARENA.with(|cell| {
+            let mut arena = cell.borrow_mut();
+            if let Some(&found) = arena.map.get(&expr) {
+                return found;
+            }
+            let id = u32::try_from(arena.nodes.len()).expect("expression arena exhausted u32 ids");
+            let meta = compute_meta(&expr);
+            let node: &'static Node = Box::leak(Box::new(Node {
+                id: ExprId(id),
+                expr: expr.clone(),
+                meta,
+            }));
+            let handle = ExprRef { node };
+            arena.map.insert(expr, handle);
+            arena.nodes.push(handle);
+            handle
+        })
+    }
+
+    /// Number of distinct nodes interned by this thread so far.
+    pub fn node_count() -> usize {
+        ARENA.with(|cell| cell.borrow().nodes.len())
+    }
+
+    /// The node with the given id, if this thread has interned that many.
+    pub fn lookup(id: ExprId) -> Option<ExprRef> {
+        ARENA.with(|cell| cell.borrow().nodes.get(id.0 as usize).copied())
+    }
+}
+
+/// Computes a node's metadata from its (already-interned) children — O(1)
+/// plus the support union.
+fn compute_meta(expr: &SymExpr) -> Meta {
+    match expr {
+        SymExpr::Const { width, .. } => Meta {
+            width: *width,
+            tainted: false,
+            node_count: 1,
+            op_count: 0,
+            support: Arc::new(SupportSet::empty()),
+        },
+        SymExpr::InputByte { offset } => Meta {
+            width: Width::W8,
+            tainted: true,
+            node_count: 1,
+            op_count: 0,
+            support: Arc::new(SupportSet::singleton(*offset)),
+        },
+        SymExpr::Field { width, offsets, .. } => Meta {
+            width: *width,
+            tainted: true,
+            node_count: 1,
+            op_count: 0,
+            support: Arc::new(SupportSet::from_offsets(offsets.iter().copied())),
+        },
+        SymExpr::Unary { width, arg, .. } | SymExpr::Cast { width, arg, .. } => Meta {
+            width: *width,
+            tainted: arg.is_tainted(),
+            node_count: arg.meta().node_count.saturating_add(1),
+            op_count: arg.meta().op_count.saturating_add(1),
+            support: Arc::clone(&arg.meta().support),
+        },
+        SymExpr::Binary {
+            width, lhs, rhs, ..
+        } => Meta {
+            width: *width,
+            tainted: lhs.is_tainted() || rhs.is_tainted(),
+            node_count: lhs
+                .meta()
+                .node_count
+                .saturating_add(rhs.meta().node_count)
+                .saturating_add(1),
+            op_count: lhs
+                .meta()
+                .op_count
+                .saturating_add(rhs.meta().op_count)
+                .saturating_add(1),
+            support: union_support(lhs, rhs),
+        },
+    }
+}
+
+/// The union of two children's support sets, reusing a child's [`Arc`] when
+/// the other side contributes nothing new.
+fn union_support(lhs: &ExprRef, rhs: &ExprRef) -> Arc<SupportSet> {
+    let (a, b) = (&lhs.meta().support, &rhs.meta().support);
+    if b.is_empty() || Arc::ptr_eq(a, b) {
+        return Arc::clone(a);
+    }
+    if a.is_empty() {
+        return Arc::clone(b);
+    }
+    Arc::new(SupportSet::union(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ExprBuild;
+    use crate::op::BinOp;
+
+    #[test]
+    fn structurally_equal_expressions_share_one_node() {
+        let before = ExprArena::node_count();
+        let a = SymExpr::input_byte(1234)
+            .zext(Width::W32)
+            .binop(BinOp::Add, SymExpr::constant(Width::W32, 7));
+        let b = SymExpr::input_byte(1234)
+            .zext(Width::W32)
+            .binop(BinOp::Add, SymExpr::constant(Width::W32, 7));
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        // Rebuilding interned nothing new.
+        let after = ExprArena::node_count();
+        let c = SymExpr::input_byte(1234)
+            .zext(Width::W32)
+            .binop(BinOp::Add, SymExpr::constant(Width::W32, 7));
+        assert_eq!(ExprArena::node_count(), after);
+        assert_eq!(c, a);
+        assert!(after > before);
+    }
+
+    #[test]
+    fn constants_are_canonicalised_before_interning() {
+        let a = SymExpr::constant(Width::W8, 0x1FF);
+        let b = SymExpr::constant(Width::W8, 0xFF);
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn lookup_round_trips_ids() {
+        let e = SymExpr::input_byte(77);
+        assert_eq!(ExprArena::lookup(e.id()), Some(e));
+        assert!(ExprArena::lookup(ExprId(u32::MAX)).is_none());
+    }
+
+    #[test]
+    fn metadata_is_computed_at_intern_time() {
+        let e = SymExpr::input_byte(3)
+            .zext(Width::W16)
+            .binop(BinOp::Mul, SymExpr::input_byte(9).zext(Width::W16));
+        assert!(e.is_tainted());
+        assert_eq!(e.node_count(), 5);
+        assert_eq!(e.op_count(), 3);
+        assert_eq!(e.support().iter().collect::<Vec<_>>(), vec![3, 9]);
+    }
+
+    #[test]
+    fn unary_chains_share_their_childs_support() {
+        let base = SymExpr::input_byte(5).zext(Width::W64);
+        let deep = base.binop(BinOp::Shl, SymExpr::constant(Width::W64, 8));
+        assert!(Arc::ptr_eq(&base.meta().support, &deep.meta().support));
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExprRef>();
+        assert_send_sync::<SymExpr>();
+    }
+}

@@ -15,10 +15,17 @@
 //! byte masks, or-ing disjoint bytes, zero extension and truncation all become
 //! simple vector operations, which is exactly what disentangles adjacent input
 //! fields read into the same machine word.
+//!
+//! Decomposition results are memoised per interned node (a byte vector is at
+//! most eight entries, so caching is cheap): the simplifier probes
+//! `decompose` at every combined node, and without the memo that re-walks
+//! shared subtrees into a quadratic pass over long traces.
 
 use crate::expr::{ExprBuild, ExprRef, SymExpr};
 use crate::op::{BinOp, CastKind};
 use crate::width::Width;
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// One byte of a decomposed value, least-significant byte first in a
 /// [`ByteVector`].
@@ -41,14 +48,33 @@ impl ByteVal {
 /// A value decomposed into bytes, least significant first.
 pub type ByteVector = Vec<ByteVal>;
 
+thread_local! {
+    /// Per-thread memo: node key (the immortal node address — collision-free
+    /// even for handles from another thread's arena) → decomposition (or
+    /// proof that none exists).
+    static MEMO: RefCell<HashMap<usize, Option<ByteVector>>> = RefCell::new(HashMap::new());
+}
+
 /// Attempts to decompose `expr` into independent bytes.
 ///
 /// Returns `None` if the expression mixes bytes in a way that cannot be
 /// tracked at byte granularity (e.g. through addition or multiplication of
 /// symbolic operands), mirroring the paper's restriction that the rules only
 /// apply when the operand is a concatenation of independent bytes.
-pub fn decompose(expr: &SymExpr) -> Option<ByteVector> {
-    match expr {
+pub fn decompose(expr: &ExprRef) -> Option<ByteVector> {
+    let key = expr.memo_key();
+    if let Some(hit) = MEMO.with(|memo| memo.borrow().get(&key).cloned()) {
+        return hit;
+    }
+    let result = decompose_node(expr);
+    MEMO.with(|memo| {
+        memo.borrow_mut().insert(key, result.clone());
+    });
+    result
+}
+
+fn decompose_node(expr: &ExprRef) -> Option<ByteVector> {
+    match expr.as_ref() {
         SymExpr::Const { width, value } => {
             let mut out = Vec::with_capacity(width.bytes());
             for i in 0..width.bytes() {
@@ -56,7 +82,7 @@ pub fn decompose(expr: &SymExpr) -> Option<ByteVector> {
             }
             Some(out)
         }
-        SymExpr::InputByte { .. } => Some(vec![ByteVal::Sym(ExprRef::new(expr.clone()))]),
+        SymExpr::InputByte { .. } => Some(vec![ByteVal::Sym(*expr)]),
         SymExpr::Field { width, offsets, .. } => {
             // Fields are big-endian: the last offset is the least significant
             // byte.  Only decompose when the field covers exactly its width.
@@ -148,8 +174,8 @@ pub fn decompose(expr: &SymExpr) -> Option<ByteVector> {
                 }
                 let shift_bytes = (amount / 8) as usize;
                 let inner = pad(decompose(lhs)?, width.bytes());
-                let mut out: ByteVector = inner.into_iter().skip(shift_bytes).collect();
-                Some(pad(std::mem::take(&mut out), width.bytes()))
+                let out: ByteVector = inner.into_iter().skip(shift_bytes).collect();
+                Some(pad(out, width.bytes()))
             }
             BinOp::And => {
                 let (value_side, mask) = if let Some(m) = rhs.as_const() {
@@ -204,7 +230,7 @@ pub fn recompose(bytes: &[ByteVal], width: Width) -> ExprRef {
     for (i, byte) in bytes.iter().enumerate() {
         match byte {
             ByteVal::Known(b) => constant |= (*b as u64) << (8 * i),
-            ByteVal::Sym(e) => symbolic.push((i, e.clone())),
+            ByteVal::Sym(e) => symbolic.push((i, *e)),
         }
     }
     let mut acc: Option<ExprRef> = None;
@@ -291,6 +317,18 @@ mod tests {
         let a = SymExpr::input_byte(0).zext(Width::W16);
         let b = SymExpr::input_byte(1).zext(Width::W16);
         assert!(decompose(&a.binop(BinOp::Or, b)).is_none());
+    }
+
+    #[test]
+    fn negative_results_are_memoised_too() {
+        let a = SymExpr::input_byte(0).zext(Width::W16);
+        let b = SymExpr::input_byte(1).zext(Width::W16);
+        let product = a.binop(BinOp::Mul, b);
+        assert!(decompose(&product).is_none());
+        // The second query must come from the memo (same answer either way;
+        // this asserts the cached negative is returned, not recomputed as
+        // something else).
+        assert!(decompose(&product).is_none());
     }
 
     #[test]

@@ -221,7 +221,7 @@ mod tests {
     fn shift_by_width_or_more_is_zero() {
         let a = SymExpr::constant(Width::W32, 0xFFFF_FFFF);
         let s = SymExpr::constant(Width::W32, 32);
-        assert_eq!(eval(&a.binop(BinOp::Shl, s.clone()), &env(&[])), 0);
+        assert_eq!(eval(&a.binop(BinOp::Shl, s), &env(&[])), 0);
         assert_eq!(eval(&a.binop(BinOp::ShrU, s), &env(&[])), 0);
     }
 

@@ -1,21 +1,141 @@
-//! The symbolic expression tree.
+//! The symbolic expression DAG.
 
+use crate::arena::{ExprArena, ExprId, Meta, Node};
 use crate::op::{BinOp, CastKind, UnOp};
+use crate::support::SupportSet;
 use crate::width::Width;
-use std::sync::Arc;
+use std::fmt;
+use std::ops::Deref;
 
-/// A shared reference to a [`SymExpr`].
+/// A shared, hash-consed reference to a [`SymExpr`] node.
 ///
 /// Expressions are built during instrumented execution where the same
 /// sub-expression (e.g. a parsed header field) flows into many downstream
-/// values, so structural sharing keeps shadow state compact.
-pub type ExprRef = Arc<SymExpr>;
+/// values.  Every node is interned in the thread's [`ExprArena`], so an
+/// `ExprRef` is a `Copy` handle: cloning a shadow costs nothing, equality is
+/// a pointer compare (which, within one thread, *is* structural equality),
+/// and the per-node metadata the arena memoises at intern time —
+/// [`width`](Self::width), [`is_tainted`](Self::is_tainted),
+/// [`node_count`](Self::node_count), [`op_count`](Self::op_count) and the
+/// input [`support`](Self::support) bitset — is an O(1) field read instead of
+/// an O(tree) walk.
+///
+/// `ExprRef` dereferences to [`SymExpr`], so consumers pattern-match nodes
+/// exactly as they would with an `Arc<SymExpr>`.
+#[derive(Clone, Copy)]
+pub struct ExprRef {
+    pub(crate) node: &'static Node,
+}
+
+impl ExprRef {
+    /// Interns `expr` and returns its canonical handle
+    /// (equivalent to [`ExprArena::intern`]).
+    pub fn new(expr: SymExpr) -> ExprRef {
+        ExprArena::intern(expr)
+    }
+
+    /// The stable id of this node within the thread's arena.
+    pub fn id(&self) -> ExprId {
+        self.node.id
+    }
+
+    /// The width of the value this expression denotes (memoised).
+    pub fn width(&self) -> Width {
+        self.node.meta.width
+    }
+
+    /// Returns the constant value if this expression is a constant.
+    pub fn as_const(&self) -> Option<u64> {
+        self.node.expr.as_const()
+    }
+
+    /// Whether the expression contains any tainted leaf (memoised).
+    pub fn is_tainted(&self) -> bool {
+        self.node.meta.tainted
+    }
+
+    /// Number of nodes in the expression tree, counting shared subtrees once
+    /// per occurrence (memoised; saturates at `usize::MAX`).
+    pub fn node_count(&self) -> usize {
+        usize::try_from(self.node.meta.node_count).unwrap_or(usize::MAX)
+    }
+
+    /// Number of operator (unary, binary, cast) nodes in the expression tree
+    /// (memoised; saturates at `usize::MAX`).  This is the paper's Figure 8
+    /// "Check Size" metric.
+    pub fn op_count(&self) -> usize {
+        usize::try_from(self.node.meta.op_count).unwrap_or(usize::MAX)
+    }
+
+    /// The input byte offsets the expression depends on (memoised).
+    pub fn support(&self) -> &SupportSet {
+        &self.node.meta.support
+    }
+
+    pub(crate) fn meta(&self) -> &'static Meta {
+        &self.node.meta
+    }
+
+    /// A globally unique key for this node: its (leaked, immortal) address.
+    ///
+    /// Within one thread this is 1:1 with [`id`](Self::id); unlike the dense
+    /// id it never collides between nodes of *different* threads' arenas, so
+    /// memo tables keyed by it stay correct when a handle crosses threads.
+    pub(crate) fn memo_key(&self) -> usize {
+        self.node as *const Node as usize
+    }
+}
+
+impl Deref for ExprRef {
+    type Target = SymExpr;
+
+    fn deref(&self) -> &SymExpr {
+        &self.node.expr
+    }
+}
+
+impl AsRef<SymExpr> for ExprRef {
+    fn as_ref(&self) -> &SymExpr {
+        &self.node.expr
+    }
+}
+
+impl PartialEq for ExprRef {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.node, other.node)
+    }
+}
+
+impl Eq for ExprRef {}
+
+impl std::hash::Hash for ExprRef {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.node as *const Node as usize).hash(state);
+    }
+}
+
+impl fmt::Debug for ExprRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.node.expr, f)
+    }
+}
+
+impl fmt::Display for ExprRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.node.expr, f)
+    }
+}
 
 /// A symbolic bitvector expression over input bytes and constants.
 ///
 /// This is Code Phage's application-independent representation: it records how
 /// an application computes a value from the bytes of its input, independent of
 /// the application's own variable names and data structures (paper Section 3.2).
+///
+/// Child links are [`ExprRef`] handles into the thread's [`ExprArena`], so
+/// the "tree" is really a deduplicated DAG; structural equality of two nodes
+/// reduces to field equality plus child-pointer equality, which is what lets
+/// the arena intern in O(1) per node.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum SymExpr {
     /// A constant of the given width.
@@ -78,26 +198,43 @@ pub enum SymExpr {
 }
 
 impl SymExpr {
-    /// Creates a constant expression.
+    /// Creates (interns) a constant expression.
     pub fn constant(width: Width, value: u64) -> ExprRef {
-        Arc::new(SymExpr::Const {
-            width,
-            value: width.truncate(value),
-        })
+        ExprArena::intern(SymExpr::Const { width, value })
     }
 
-    /// Creates an input-byte leaf.
+    /// Creates (interns) an input-byte leaf.
     pub fn input_byte(offset: usize) -> ExprRef {
-        Arc::new(SymExpr::InputByte { offset })
+        ExprArena::intern(SymExpr::InputByte { offset })
     }
 
-    /// Creates a named-field leaf.
+    /// Creates (interns) a named-field leaf.
     pub fn field(path: impl Into<String>, width: Width, offsets: Vec<usize>) -> ExprRef {
-        Arc::new(SymExpr::Field {
+        ExprArena::intern(SymExpr::Field {
             path: path.into(),
             width,
             offsets,
         })
+    }
+
+    /// Creates (interns) a unary operation node.
+    pub fn unary(op: UnOp, width: Width, arg: ExprRef) -> ExprRef {
+        ExprArena::intern(SymExpr::Unary { op, width, arg })
+    }
+
+    /// Creates (interns) a binary operation node.
+    pub fn binary(op: BinOp, width: Width, lhs: ExprRef, rhs: ExprRef) -> ExprRef {
+        ExprArena::intern(SymExpr::Binary {
+            op,
+            width,
+            lhs,
+            rhs,
+        })
+    }
+
+    /// Creates (interns) a cast node.
+    pub fn cast(kind: CastKind, width: Width, arg: ExprRef) -> ExprRef {
+        ExprArena::intern(SymExpr::Cast { kind, width, arg })
     }
 
     /// The width of the value this expression denotes.
@@ -121,6 +258,8 @@ impl SymExpr {
     }
 
     /// Whether the expression contains any tainted leaf (input byte or field).
+    ///
+    /// One level of match plus the children's memoised flag — O(1).
     pub fn is_tainted(&self) -> bool {
         match self {
             SymExpr::Const { .. } => false,
@@ -131,11 +270,18 @@ impl SymExpr {
     }
 
     /// Number of nodes in the tree (used to bound solver work).
+    ///
+    /// One level of match plus the children's memoised count — O(1).
     pub fn node_count(&self) -> usize {
         match self {
             SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => 1,
-            SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => 1 + arg.node_count(),
-            SymExpr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
+            SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => {
+                arg.node_count().saturating_add(1)
+            }
+            SymExpr::Binary { lhs, rhs, .. } => lhs
+                .node_count()
+                .saturating_add(rhs.node_count())
+                .saturating_add(1),
         }
     }
 }
@@ -164,21 +310,11 @@ impl ExprBuild for ExprRef {
         } else {
             self.width()
         };
-        Arc::new(SymExpr::Binary {
-            op,
-            width,
-            lhs: self.clone(),
-            rhs,
-        })
+        SymExpr::binary(op, width, *self, rhs)
     }
 
     fn binop_w(&self, op: BinOp, width: Width, rhs: ExprRef) -> ExprRef {
-        Arc::new(SymExpr::Binary {
-            op,
-            width,
-            lhs: self.clone(),
-            rhs,
-        })
+        SymExpr::binary(op, width, *self, rhs)
     }
 
     fn unop(&self, op: UnOp) -> ExprRef {
@@ -187,44 +323,28 @@ impl ExprBuild for ExprRef {
         } else {
             self.width()
         };
-        Arc::new(SymExpr::Unary {
-            op,
-            width,
-            arg: self.clone(),
-        })
+        SymExpr::unary(op, width, *self)
     }
 
     fn zext(&self, width: Width) -> ExprRef {
         if self.width() == width {
-            return self.clone();
+            return *self;
         }
-        Arc::new(SymExpr::Cast {
-            kind: CastKind::ZeroExt,
-            width,
-            arg: self.clone(),
-        })
+        SymExpr::cast(CastKind::ZeroExt, width, *self)
     }
 
     fn sext(&self, width: Width) -> ExprRef {
         if self.width() == width {
-            return self.clone();
+            return *self;
         }
-        Arc::new(SymExpr::Cast {
-            kind: CastKind::SignExt,
-            width,
-            arg: self.clone(),
-        })
+        SymExpr::cast(CastKind::SignExt, width, *self)
     }
 
     fn truncate(&self, width: Width) -> ExprRef {
         if self.width() == width {
-            return self.clone();
+            return *self;
         }
-        Arc::new(SymExpr::Cast {
-            kind: CastKind::Truncate,
-            width,
-            arg: self.clone(),
-        })
+        SymExpr::cast(CastKind::Truncate, width, *self)
     }
 }
 
@@ -259,7 +379,7 @@ mod tests {
         assert!(!c.is_tainted());
         let t = SymExpr::input_byte(9).zext(Width::W32);
         assert!(t.is_tainted());
-        assert!(t.binop(BinOp::Add, c.clone()).is_tainted());
+        assert!(t.binop(BinOp::Add, c).is_tainted());
         assert!(!c
             .binop(BinOp::Add, SymExpr::constant(Width::W32, 1))
             .is_tainted());
@@ -283,5 +403,15 @@ mod tests {
             }
             _ => panic!("expected field"),
         }
+    }
+
+    #[test]
+    fn handles_are_copy_and_pointer_equal() {
+        let a = SymExpr::input_byte(42);
+        let b = a; // Copy, not clone.
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        let rebuilt = SymExpr::input_byte(42);
+        assert_eq!(a, rebuilt);
     }
 }

@@ -4,9 +4,18 @@
 //!
 //! During the instrumented execution of a donor or recipient, every value that
 //! depends on tainted input bytes is shadowed by a [`SymExpr`]: a bitvector
-//! expression tree whose leaves are input bytes (or named input fields) and
+//! expression whose leaves are input bytes (or named input fields) and
 //! constants.  This is the representation the paper calls the
 //! *application-independent form* of a check (Section 3.2).
+//!
+//! Expressions are **hash-consed**: every node is interned in the thread's
+//! [`ExprArena`], so [`ExprRef`] is a `Copy` handle with a stable [`ExprId`],
+//! structural equality is a pointer compare, and the metadata hot paths need —
+//! width, taintedness, operator count, input-support bitset — is memoised per
+//! node at intern time (see [`arena`] for the design and its invariants).
+//! Passes that walk expressions ([`rewrite::simplify`], [`bytes::decompose`])
+//! memoise their results per interned node, so subtrees shared across
+//! thousands of recorded branch conditions are processed once per thread.
 //!
 //! The crate also implements the bit-manipulation rewrite rules of Figure 5 of
 //! the paper (and their generalisation to 8/16/32/64-bit operands) in
@@ -27,30 +36,30 @@
 //! assert_eq!(cp_symexpr::count_ops(&simplified), 1); // just the zero-extension
 //! ```
 
+pub mod arena;
 pub mod bytes;
 pub mod display;
 pub mod eval;
 pub mod expr;
 pub mod op;
 pub mod rewrite;
+pub mod support;
 pub mod width;
 
+pub use arena::{ExprArena, ExprId};
 pub use expr::{ExprBuild, ExprRef, SymExpr};
 pub use op::{BinOp, CastKind, UnOp};
+pub use support::SupportSet;
 pub use width::Width;
 
 /// Counts operator nodes (unary, binary and cast nodes) in an expression.
 ///
 /// This is the metric reported in the "Check Size" column of Figure 8 of the
 /// paper: the number of operations in the excised application-independent
-/// representation and in the translated check.
-pub fn count_ops(expr: &SymExpr) -> usize {
-    match expr {
-        SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => 0,
-        SymExpr::Unary { arg, .. } => 1 + count_ops(arg),
-        SymExpr::Cast { arg, .. } => 1 + count_ops(arg),
-        SymExpr::Binary { lhs, rhs, .. } => 1 + count_ops(lhs) + count_ops(rhs),
-    }
+/// representation and in the translated check.  Served from the arena's
+/// memoised per-node metadata — O(1).
+pub fn count_ops(expr: &ExprRef) -> usize {
+    expr.op_count()
 }
 
 /// Collects the set of input byte offsets an expression depends on.
@@ -58,27 +67,12 @@ pub fn count_ops(expr: &SymExpr) -> usize {
 /// Code Phage uses this both to filter branches that are not affected by the
 /// relevant bytes (Section 3.2) and as the "disjoint support" fast path that
 /// avoids solver invocations during translation (Section 3.3).
-pub fn input_support(expr: &SymExpr) -> std::collections::BTreeSet<usize> {
-    let mut set = std::collections::BTreeSet::new();
-    collect_support(expr, &mut set);
-    set
-}
-
-fn collect_support(expr: &SymExpr, set: &mut std::collections::BTreeSet<usize>) {
-    match expr {
-        SymExpr::Const { .. } => {}
-        SymExpr::InputByte { offset } => {
-            set.insert(*offset);
-        }
-        SymExpr::Field { offsets, .. } => {
-            set.extend(offsets.iter().copied());
-        }
-        SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => collect_support(arg, set),
-        SymExpr::Binary { lhs, rhs, .. } => {
-            collect_support(lhs, set);
-            collect_support(rhs, set);
-        }
-    }
+///
+/// The set itself is memoised on the node ([`ExprRef::support`] is the O(1)
+/// borrow); this helper materialises it as a `BTreeSet` for callers that want
+/// an owned ordered collection.
+pub fn input_support(expr: &ExprRef) -> std::collections::BTreeSet<usize> {
+    expr.support().iter().collect()
 }
 
 #[cfg(test)]
@@ -107,5 +101,18 @@ mod tests {
     #[test]
     fn support_of_constant_is_empty() {
         assert!(input_support(&SymExpr::constant(Width::W32, 5)).is_empty());
+    }
+
+    #[test]
+    fn memoized_support_matches_btree_view() {
+        let e = SymExpr::field("/hdr/len", Width::W16, vec![4, 5])
+            .zext(Width::W64)
+            .binop(BinOp::Add, SymExpr::input_byte(9).zext(Width::W64));
+        assert_eq!(
+            input_support(&e).into_iter().collect::<Vec<_>>(),
+            e.support().iter().collect::<Vec<_>>()
+        );
+        assert!(e.support().contains(4));
+        assert!(!e.support().contains(6));
     }
 }

@@ -14,16 +14,23 @@
 //! * cast fusion (`Shrink(ToSize(x))`, nested truncations, …), and
 //! * the generalised Figure 5 byte-structure rules via [`crate::bytes`].
 //!
+//! The pass is iterative (an explicit work stack, so 100k-node loop-carried
+//! expressions cannot overflow the call stack) and memoised per interned
+//! node: a hash-consed subtree shared by thousands of recorded branches is
+//! simplified exactly once per thread, and repeated [`simplify`] calls on the
+//! same expression are O(1) cache hits.
+//!
 //! Simplification never changes the value of an expression; the property tests
-//! at the bottom of this module check this against random byte environments.
+//! at the bottom of this module and the deterministic randomized tests in
+//! `tests/arena_invariants.rs` check this against random byte environments.
 
 use crate::bytes::{decompose, recompose};
-use crate::count_ops;
 use crate::eval::eval_binop;
 use crate::expr::{ExprRef, SymExpr};
 use crate::op::{BinOp, CastKind, UnOp};
 use crate::width::Width;
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// Options controlling which rule families are applied.
 ///
@@ -68,49 +75,109 @@ impl SimplifyOptions {
             byte_rules: false,
         }
     }
+
+    /// Dense memo-table key for the option combination.
+    fn encode(self) -> u8 {
+        (self.algebraic as u8) | ((self.byte_rules as u8) << 1)
+    }
+}
+
+thread_local! {
+    /// Per-thread memo: (node key, option set) → simplified node.
+    ///
+    /// The key is the node's immortal address (1:1 with its `ExprId` within a
+    /// thread, but — unlike the dense id — collision-free for handles that
+    /// crossed threads), nodes are immutable and simplification is
+    /// deterministic, so entries never invalidate.
+    static MEMO: RefCell<HashMap<(usize, u8), ExprRef>> = RefCell::new(HashMap::new());
+}
+
+fn memo_get(expr: ExprRef, opts: u8) -> Option<ExprRef> {
+    MEMO.with(|memo| memo.borrow().get(&(expr.memo_key(), opts)).copied())
+}
+
+fn memo_put(expr: ExprRef, opts: u8, result: ExprRef) {
+    MEMO.with(|memo| {
+        memo.borrow_mut().insert((expr.memo_key(), opts), result);
+    });
+}
+
+/// Number of memoised simplification results on this thread (all option
+/// combinations).
+pub fn memo_len() -> usize {
+    MEMO.with(|memo| memo.borrow().len())
 }
 
 /// Simplifies an expression with the default (full) rule set.
-pub fn simplify(expr: &SymExpr) -> ExprRef {
+pub fn simplify(expr: &ExprRef) -> ExprRef {
     simplify_with(expr, SimplifyOptions::default())
 }
 
 /// Simplifies an expression with an explicit rule selection.
-pub fn simplify_with(expr: &SymExpr, options: SimplifyOptions) -> ExprRef {
-    let rebuilt = match expr {
-        SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => {
-            Arc::new(expr.clone())
-        }
-        SymExpr::Unary { op, width, arg } => {
-            let arg = simplify_with(arg, options);
-            simplify_unary(*op, *width, arg, options)
-        }
-        SymExpr::Binary {
-            op,
-            width,
-            lhs,
-            rhs,
-        } => {
-            let lhs = simplify_with(lhs, options);
-            let rhs = simplify_with(rhs, options);
-            simplify_binary(*op, *width, lhs, rhs, options)
-        }
-        SymExpr::Cast { kind, width, arg } => {
-            let arg = simplify_with(arg, options);
-            simplify_cast(*kind, *width, arg, options)
-        }
-    };
-    if options.byte_rules {
-        apply_byte_rules(rebuilt)
-    } else {
-        rebuilt
+///
+/// Bottom-up over the expression DAG with an explicit work stack; every
+/// distinct node is combined at most once per thread and option set.
+pub fn simplify_with(expr: &ExprRef, options: SimplifyOptions) -> ExprRef {
+    let opts = options.encode();
+    if let Some(hit) = memo_get(*expr, opts) {
+        return hit;
     }
+    // (node, children_ready) — a node is pushed once to schedule its children
+    // and once more to combine their simplified forms.
+    let mut stack: Vec<(ExprRef, bool)> = vec![(*expr, false)];
+    while let Some((e, ready)) = stack.pop() {
+        if memo_get(e, opts).is_some() {
+            continue;
+        }
+        if !ready {
+            match &*e {
+                // Leaves are already canonical: they simplify to themselves
+                // (the byte rules cannot shrink a single leaf).
+                SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => {
+                    memo_put(e, opts, e);
+                }
+                SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => {
+                    stack.push((e, true));
+                    stack.push((*arg, false));
+                }
+                SymExpr::Binary { lhs, rhs, .. } => {
+                    stack.push((e, true));
+                    stack.push((*lhs, false));
+                    stack.push((*rhs, false));
+                }
+            }
+        } else {
+            let child = |c: ExprRef| memo_get(c, opts).expect("children combined before parent");
+            let rebuilt = match &*e {
+                SymExpr::Unary { op, width, arg } => {
+                    simplify_unary(*op, *width, child(*arg), options)
+                }
+                SymExpr::Binary {
+                    op,
+                    width,
+                    lhs,
+                    rhs,
+                } => simplify_binary(*op, *width, child(*lhs), child(*rhs), options),
+                SymExpr::Cast { kind, width, arg } => {
+                    simplify_cast(*kind, *width, child(*arg), options)
+                }
+                _ => unreachable!("leaves are memoised on first visit"),
+            };
+            let result = if options.byte_rules {
+                apply_byte_rules(rebuilt)
+            } else {
+                rebuilt
+            };
+            memo_put(e, opts, result);
+        }
+    }
+    memo_get(*expr, opts).expect("root combined")
 }
 
 fn apply_byte_rules(expr: ExprRef) -> ExprRef {
     if let Some(bytes) = decompose(&expr) {
         let rebuilt = recompose(&bytes, expr.width());
-        if count_ops(&rebuilt) < count_ops(&expr) {
+        if rebuilt.op_count() < expr.op_count() {
             return rebuilt;
         }
     }
@@ -119,7 +186,7 @@ fn apply_byte_rules(expr: ExprRef) -> ExprRef {
 
 fn simplify_unary(op: UnOp, width: Width, arg: ExprRef, options: SimplifyOptions) -> ExprRef {
     if !options.algebraic {
-        return Arc::new(SymExpr::Unary { op, width, arg });
+        return SymExpr::unary(op, width, arg);
     }
     if let Some(v) = arg.as_const() {
         let value = match op {
@@ -137,19 +204,19 @@ fn simplify_unary(op: UnOp, width: Width, arg: ExprRef, options: SimplifyOptions
     } = arg.as_ref()
     {
         if *inner_op == op && matches!(op, UnOp::Neg | UnOp::Not) {
-            return inner.clone();
+            return *inner;
         }
         // LogicalNot(LogicalNot(x)) is the 0/1 normalisation of x; keep it when
         // x is already a comparison (whose value is known to be 0/1).
         if op == UnOp::LogicalNot && *inner_op == UnOp::LogicalNot {
             if let SymExpr::Binary { op: cmp, .. } = inner.as_ref() {
                 if cmp.is_comparison() {
-                    return inner.clone();
+                    return *inner;
                 }
             }
         }
     }
-    Arc::new(SymExpr::Unary { op, width, arg })
+    SymExpr::unary(op, width, arg)
 }
 
 fn simplify_cast(kind: CastKind, width: Width, arg: ExprRef, options: SimplifyOptions) -> ExprRef {
@@ -157,12 +224,20 @@ fn simplify_cast(kind: CastKind, width: Width, arg: ExprRef, options: SimplifyOp
         if arg.width() == width {
             return arg;
         }
-        return Arc::new(SymExpr::Cast { kind, width, arg });
+        return SymExpr::cast(kind, width, arg);
     }
     let from = arg.width();
     if from == width {
         return arg;
     }
+    // A narrowing "extension" keeps only the low `width` bits (see
+    // `eval`), i.e. it *is* a truncation; canonicalise so the fusion rules
+    // below only ever see genuinely widening ZeroExt/SignExt nodes.
+    let kind = if width < from {
+        CastKind::Truncate
+    } else {
+        kind
+    };
     if let Some(v) = arg.as_const() {
         let value = match kind {
             CastKind::ZeroExt => from.truncate(v),
@@ -171,7 +246,8 @@ fn simplify_cast(kind: CastKind, width: Width, arg: ExprRef, options: SimplifyOp
         };
         return SymExpr::constant(width, value);
     }
-    // Cast fusion.
+    // Cast fusion.  Recursion only follows already-simplified cast chains, so
+    // its depth is bounded by the (short) fused chain, not the tree.
     if let SymExpr::Cast {
         kind: inner_kind,
         arg: inner,
@@ -181,27 +257,27 @@ fn simplify_cast(kind: CastKind, width: Width, arg: ExprRef, options: SimplifyOp
         match (inner_kind, kind) {
             // ZeroExt(ZeroExt(x)) => ZeroExt(x)
             (CastKind::ZeroExt, CastKind::ZeroExt) => {
-                return simplify_cast(CastKind::ZeroExt, width, inner.clone(), options);
+                return simplify_cast(CastKind::ZeroExt, width, *inner, options);
             }
             // Truncate(ZeroExt(x)) where the truncation lands back at or below
             // the original width is either x itself or a narrower truncation.
             (CastKind::ZeroExt, CastKind::Truncate) => {
                 if width == inner.width() {
-                    return inner.clone();
+                    return *inner;
                 }
                 if width < inner.width() {
-                    return simplify_cast(CastKind::Truncate, width, inner.clone(), options);
+                    return simplify_cast(CastKind::Truncate, width, *inner, options);
                 }
-                return simplify_cast(CastKind::ZeroExt, width, inner.clone(), options);
+                return simplify_cast(CastKind::ZeroExt, width, *inner, options);
             }
             // Truncate(Truncate(x)) => Truncate(x)
             (CastKind::Truncate, CastKind::Truncate) => {
-                return simplify_cast(CastKind::Truncate, width, inner.clone(), options);
+                return simplify_cast(CastKind::Truncate, width, *inner, options);
             }
             _ => {}
         }
     }
-    Arc::new(SymExpr::Cast { kind, width, arg })
+    SymExpr::cast(kind, width, arg)
 }
 
 fn simplify_binary(
@@ -212,12 +288,7 @@ fn simplify_binary(
     options: SimplifyOptions,
 ) -> ExprRef {
     if !options.algebraic {
-        return Arc::new(SymExpr::Binary {
-            op,
-            width,
-            lhs,
-            rhs,
-        });
+        return SymExpr::binary(op, width, lhs, rhs);
     }
     // Constant folding.
     if let (Some(a), Some(b)) = (lhs.as_const(), rhs.as_const()) {
@@ -255,7 +326,8 @@ fn simplify_binary(
             _ => {}
         }
     }
-    // x - x => 0, x ^ x => 0, x & x => x, x | x => x.
+    // x - x => 0, x ^ x => 0, x & x => x, x | x => x.  Handle equality is
+    // structural equality thanks to hash-consing.
     if lhs == rhs {
         match op {
             BinOp::Sub | BinOp::Xor => return SymExpr::constant(width, 0),
@@ -265,17 +337,13 @@ fn simplify_binary(
             _ => {}
         }
     }
-    Arc::new(SymExpr::Binary {
-        op,
-        width,
-        lhs,
-        rhs,
-    })
+    SymExpr::binary(op, width, lhs, rhs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::count_ops;
     use crate::eval::eval;
     use crate::expr::ExprBuild;
     use crate::input_support;
@@ -358,6 +426,27 @@ mod tests {
     }
 
     #[test]
+    fn repeated_simplification_is_a_cache_hit() {
+        let e = be16(30, 31).binop(BinOp::And, SymExpr::constant(Width::W16, 0xFF));
+        let first = simplify(&e);
+        let before = memo_len();
+        let second = simplify(&e);
+        assert_eq!(first, second);
+        assert_eq!(memo_len(), before, "second call must not add memo entries");
+    }
+
+    #[test]
+    fn deep_chains_do_not_overflow_the_stack() {
+        // 100k nested adds would overflow a recursive simplifier.
+        let mut e = SymExpr::input_byte(0).zext(Width::W64);
+        for i in 0..100_000u64 {
+            e = e.binop(BinOp::Add, SymExpr::constant(Width::W64, (i % 7) + 1));
+        }
+        let s = simplify(&e);
+        assert!(s.op_count() <= e.op_count());
+    }
+
+    #[test]
     fn simplification_preserves_semantics_on_endianness_conversion() {
         // The exact shape from the paper's running example: a 16-bit
         // big-endian field, masked, shifted and recombined, then widened and
@@ -381,10 +470,12 @@ mod tests {
 
 // Property-based checks that simplification preserves semantics.  They need
 // the external `proptest` crate, which offline build environments cannot
-// fetch, so the module only compiles with `--features proptests`.
+// fetch, so the module only compiles with `--features proptests`.  The
+// deterministic equivalent lives in `tests/arena_invariants.rs`.
 #[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
+    use crate::count_ops;
     use crate::eval::eval;
     use proptest::prelude::*;
 

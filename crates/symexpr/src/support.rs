@@ -1,0 +1,230 @@
+//! Input-support sets: which input byte offsets an expression depends on.
+//!
+//! Code Phage queries expression support constantly — to filter the branches
+//! an error-triggering byte influences (Section 3.2) and as the solver's
+//! disjoint-support fast path (Section 3.3).  Walking the expression tree per
+//! query is quadratic over a long trace, so the arena memoises a
+//! [`SupportSet`] on every node at intern time and support queries become
+//! O(1) lookups plus cheap set operations.
+//!
+//! The representation is a byte-offset bitset: offsets below
+//! [`SupportSet::SPILL_THRESHOLD`] live in a dense word array sized to the
+//! largest offset actually present, and the (pathological) offsets above it
+//! spill into a small sorted array so adversarial programs probing huge
+//! offsets cannot force multi-megabyte allocations per node.
+
+/// A set of input byte offsets, optimised for union / disjointness / probe
+/// queries over the dense offsets real inputs produce.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SupportSet {
+    /// Bit `o % 64` of `words[o / 64]` is set iff offset `o` is in the set
+    /// (offsets below [`Self::SPILL_THRESHOLD`] only).
+    words: Box<[u64]>,
+    /// Sorted offsets at or above [`Self::SPILL_THRESHOLD`].
+    spill: Box<[usize]>,
+    /// Cached element count.
+    len: usize,
+}
+
+impl SupportSet {
+    /// Offsets at or above this bound are stored sparsely.  One megabyte of
+    /// dense bitset covers every input this reproduction processes.
+    pub const SPILL_THRESHOLD: usize = 1 << 20;
+
+    /// The empty set (does not allocate).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The set containing exactly `offset`.
+    pub fn singleton(offset: usize) -> Self {
+        Self::from_offsets([offset])
+    }
+
+    /// Builds a set from arbitrary offsets (duplicates are fine).
+    pub fn from_offsets(offsets: impl IntoIterator<Item = usize>) -> Self {
+        let mut small: Vec<usize> = Vec::new();
+        let mut spill: Vec<usize> = Vec::new();
+        for offset in offsets {
+            if offset < Self::SPILL_THRESHOLD {
+                small.push(offset);
+            } else {
+                spill.push(offset);
+            }
+        }
+        let mut words = vec![0u64; small.iter().map(|o| o / 64 + 1).max().unwrap_or(0)];
+        for offset in small {
+            words[offset / 64] |= 1 << (offset % 64);
+        }
+        spill.sort_unstable();
+        spill.dedup();
+        let len = words.iter().map(|w| w.count_ones() as usize).sum::<usize>() + spill.len();
+        SupportSet {
+            words: words.into_boxed_slice(),
+            spill: spill.into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// The union of two sets.
+    pub fn union(a: &Self, b: &Self) -> Self {
+        if a.is_empty() {
+            return b.clone();
+        }
+        if b.is_empty() {
+            return a.clone();
+        }
+        let (longer, shorter) = if a.words.len() >= b.words.len() {
+            (&a.words, &b.words)
+        } else {
+            (&b.words, &a.words)
+        };
+        let mut words = longer.to_vec();
+        for (w, s) in words.iter_mut().zip(shorter.iter()) {
+            *w |= s;
+        }
+        let mut spill: Vec<usize> = a.spill.iter().chain(b.spill.iter()).copied().collect();
+        spill.sort_unstable();
+        spill.dedup();
+        let len = words.iter().map(|w| w.count_ones() as usize).sum::<usize>() + spill.len();
+        SupportSet {
+            words: words.into_boxed_slice(),
+            spill: spill.into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Number of offsets in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `offset` is in the set.
+    pub fn contains(&self, offset: usize) -> bool {
+        if offset < Self::SPILL_THRESHOLD {
+            self.words
+                .get(offset / 64)
+                .is_some_and(|w| w & (1 << (offset % 64)) != 0)
+        } else {
+            self.spill.binary_search(&offset).is_ok()
+        }
+    }
+
+    /// Whether any of `offsets` is in the set.
+    pub fn contains_any(&self, offsets: &[usize]) -> bool {
+        offsets.iter().any(|&o| self.contains(o))
+    }
+
+    /// Whether the two sets share no offset — the solver's fast-path
+    /// predicate.
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        if self
+            .words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+        {
+            return false;
+        }
+        // Both spill arrays are sorted: one linear merge pass.
+        let (mut i, mut j) = (0, 0);
+        while i < self.spill.len() && j < other.spill.len() {
+            match self.spill[i].cmp(&other.spill[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// The offsets in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &word)| {
+                (0..64).filter_map(move |bit| {
+                    if word & (1 << bit) != 0 {
+                        Some(i * 64 + bit)
+                    } else {
+                        None
+                    }
+                })
+            })
+            .chain(self.spill.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_iterates_in_order() {
+        let s = SupportSet::from_offsets([7, 3, 200, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7, 200]);
+        assert!(s.contains(200));
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    fn empty_set_does_not_allocate_words() {
+        let s = SupportSet::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.words.len(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn union_merges_dense_and_spill_offsets() {
+        let big = SupportSet::SPILL_THRESHOLD + 17;
+        let a = SupportSet::from_offsets([1, 64, big]);
+        let b = SupportSet::from_offsets([2, 64, big, big + 1]);
+        let u = SupportSet::union(&a, &b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 64, big, big + 1]);
+        assert_eq!(u.len(), 5);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = SupportSet::from_offsets([5, 9]);
+        assert_eq!(SupportSet::union(&a, &SupportSet::empty()), a);
+        assert_eq!(SupportSet::union(&SupportSet::empty(), &a), a);
+    }
+
+    #[test]
+    fn disjointness_checks_words_and_spill() {
+        let big = SupportSet::SPILL_THRESHOLD;
+        let a = SupportSet::from_offsets([0, 100, big + 2]);
+        let b = SupportSet::from_offsets([1, 101, big + 4]);
+        assert!(a.is_disjoint(&b));
+        let c = SupportSet::from_offsets([100]);
+        assert!(!a.is_disjoint(&c));
+        let d = SupportSet::from_offsets([big + 2]);
+        assert!(!a.is_disjoint(&d));
+    }
+
+    #[test]
+    fn huge_offsets_stay_sparse() {
+        let s = SupportSet::from_offsets([usize::MAX - 1, 3]);
+        assert!(s.words.len() <= 1);
+        assert!(s.contains(usize::MAX - 1));
+        assert!(s.contains(3));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn contains_any_probes_slices() {
+        let s = SupportSet::from_offsets([10, 20]);
+        assert!(s.contains_any(&[1, 2, 20]));
+        assert!(!s.contains_any(&[1, 2, 3]));
+        assert!(!s.contains_any(&[]));
+    }
+}

@@ -1,0 +1,240 @@
+//! Deterministic randomized tests for the hash-consing invariants of the
+//! expression arena.
+//!
+//! The offline build environment cannot fetch `proptest`, so these tests use
+//! a seeded xorshift generator: the same structures every run, no network, no
+//! flakes.  Each case builds random expressions and checks the arena against
+//! straightforward reference implementations that re-walk the tree the way
+//! the pre-arena code did:
+//!
+//! * structurally equal expressions intern to the same `ExprId`;
+//! * memoised metadata (`op_count`, `node_count`, `is_tainted`, `support`)
+//!   agrees with a recursive reference walk;
+//! * `simplify` over the arena evaluates identically to the raw expression
+//!   under random byte environments, never grows the expression, and stays
+//!   semantically stable when applied twice.
+
+use cp_symexpr::eval::eval;
+use cp_symexpr::rewrite::simplify;
+use cp_symexpr::{BinOp, ExprBuild, ExprRef, SymExpr, UnOp, Width};
+use std::collections::BTreeSet;
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+const INPUT_BYTES: usize = 8;
+
+/// Builds a random expression of the given depth over input bytes
+/// `0..INPUT_BYTES`.  Identical `Rng` streams build identical structures.
+fn random_expr(rng: &mut Rng, depth: u32) -> ExprRef {
+    if depth == 0 || rng.below(4) == 0 {
+        return match rng.below(3) {
+            0 => SymExpr::input_byte(rng.below(INPUT_BYTES as u64) as usize),
+            1 => SymExpr::constant(Width::all()[rng.below(4) as usize], rng.next()),
+            _ => {
+                let hi = rng.below(INPUT_BYTES as u64 - 1) as usize;
+                SymExpr::field(format!("/f/{hi}"), Width::W16, vec![hi, hi + 1])
+            }
+        };
+    }
+    match rng.below(3) {
+        0 => {
+            const OPS: [BinOp; 14] = [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::DivU,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Xor,
+                BinOp::Shl,
+                BinOp::ShrU,
+                BinOp::ShrS,
+                BinOp::LeU,
+                BinOp::LtS,
+                BinOp::Eq,
+                BinOp::Ne,
+            ];
+            let width = Width::all()[rng.below(4) as usize];
+            let op = OPS[rng.below(OPS.len() as u64) as usize];
+            let lhs = random_expr(rng, depth - 1).zext(width);
+            let rhs = random_expr(rng, depth - 1).zext(width);
+            lhs.binop(op, rhs)
+        }
+        1 => {
+            let width = Width::all()[rng.below(4) as usize];
+            let arg = random_expr(rng, depth - 1);
+            match rng.below(3) {
+                0 => arg.zext(width),
+                1 => arg.sext(width),
+                _ => arg.truncate(width),
+            }
+        }
+        _ => {
+            const OPS: [UnOp; 3] = [UnOp::Neg, UnOp::Not, UnOp::LogicalNot];
+            random_expr(rng, depth - 1).unop(OPS[rng.below(3) as usize])
+        }
+    }
+}
+
+/// Reference operator count: the recursive walk `count_ops` used to perform.
+fn ref_count_ops(expr: &SymExpr) -> usize {
+    match expr {
+        SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => 0,
+        SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => 1 + ref_count_ops(arg),
+        SymExpr::Binary { lhs, rhs, .. } => 1 + ref_count_ops(lhs) + ref_count_ops(rhs),
+    }
+}
+
+/// Reference node count.
+fn ref_node_count(expr: &SymExpr) -> usize {
+    match expr {
+        SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => 1,
+        SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => 1 + ref_node_count(arg),
+        SymExpr::Binary { lhs, rhs, .. } => 1 + ref_node_count(lhs) + ref_node_count(rhs),
+    }
+}
+
+/// Reference taintedness.
+fn ref_tainted(expr: &SymExpr) -> bool {
+    match expr {
+        SymExpr::Const { .. } => false,
+        SymExpr::InputByte { .. } | SymExpr::Field { .. } => true,
+        SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => ref_tainted(arg),
+        SymExpr::Binary { lhs, rhs, .. } => ref_tainted(lhs) || ref_tainted(rhs),
+    }
+}
+
+/// Reference input support: the recursive collection `input_support` used to
+/// perform.
+fn ref_support(expr: &SymExpr, out: &mut BTreeSet<usize>) {
+    match expr {
+        SymExpr::Const { .. } => {}
+        SymExpr::InputByte { offset } => {
+            out.insert(*offset);
+        }
+        SymExpr::Field { offsets, .. } => out.extend(offsets.iter().copied()),
+        SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => ref_support(arg, out),
+        SymExpr::Binary { lhs, rhs, .. } => {
+            ref_support(lhs, out);
+            ref_support(rhs, out);
+        }
+    }
+}
+
+fn random_env(rng: &mut Rng) -> Vec<u8> {
+    (0..INPUT_BYTES).map(|_| rng.next() as u8).collect()
+}
+
+#[test]
+fn structurally_equal_expressions_intern_to_the_same_id() {
+    for seed in 1..=100u64 {
+        let a = random_expr(&mut Rng::new(seed), 4);
+        let b = random_expr(&mut Rng::new(seed), 4);
+        assert_eq!(a, b, "seed {seed}: same stream, same structure");
+        assert_eq!(a.id(), b.id(), "seed {seed}: same structure, same id");
+    }
+}
+
+#[test]
+fn different_structures_get_different_ids() {
+    // Sanity against an interner that maps everything to one node.
+    let mut ids = BTreeSet::new();
+    for seed in 1..=50u64 {
+        ids.insert(random_expr(&mut Rng::new(seed), 3).id().index());
+    }
+    assert!(
+        ids.len() > 25,
+        "expected mostly-distinct roots, got {ids:?}"
+    );
+}
+
+#[test]
+fn memoized_metadata_matches_reference_walks() {
+    for seed in 1..=200u64 {
+        let e = random_expr(&mut Rng::new(seed), 4);
+        assert_eq!(e.op_count(), ref_count_ops(&e), "op_count, seed {seed}");
+        assert_eq!(
+            e.node_count(),
+            ref_node_count(&e),
+            "node_count, seed {seed}"
+        );
+        assert_eq!(e.is_tainted(), ref_tainted(&e), "tainted, seed {seed}");
+        let mut expected = BTreeSet::new();
+        ref_support(&e, &mut expected);
+        assert_eq!(
+            e.support().iter().collect::<BTreeSet<_>>(),
+            expected,
+            "support, seed {seed}"
+        );
+        assert_eq!(cp_symexpr::input_support(&e), expected);
+    }
+}
+
+#[test]
+fn simplify_preserves_evaluation_under_random_environments() {
+    let mut env_rng = Rng::new(0xE11F);
+    for seed in 1..=200u64 {
+        let e = random_expr(&mut Rng::new(seed), 4);
+        let s = simplify(&e);
+        for _ in 0..8 {
+            let env = random_env(&mut env_rng);
+            assert_eq!(
+                eval(&e, &env),
+                eval(&s, &env),
+                "seed {seed}: simplify changed the value of {e} (became {s}) under {env:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn simplify_never_grows_and_is_semantically_idempotent() {
+    let mut env_rng = Rng::new(0x1D3);
+    for seed in 1..=200u64 {
+        let e = random_expr(&mut Rng::new(seed), 4);
+        let once = simplify(&e);
+        assert!(
+            once.op_count() <= e.op_count(),
+            "seed {seed}: simplify grew {} -> {} ops",
+            e.op_count(),
+            once.op_count()
+        );
+        let twice = simplify(&once);
+        assert!(twice.op_count() <= once.op_count(), "seed {seed}");
+        for _ in 0..4 {
+            let env = random_env(&mut env_rng);
+            assert_eq!(eval(&once, &env), eval(&twice, &env), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn simplified_expressions_share_the_arena() {
+    // Simplification returns interned handles: simplifying two structurally
+    // equal expressions yields the same node, and the simplified form of an
+    // already-simplified expression is a cache hit with the same id.
+    for seed in 1..=50u64 {
+        let a = simplify(&random_expr(&mut Rng::new(seed), 4));
+        let b = simplify(&random_expr(&mut Rng::new(seed), 4));
+        assert_eq!(a, b, "seed {seed}");
+        assert_eq!(a.id(), b.id(), "seed {seed}");
+    }
+}

@@ -10,7 +10,7 @@
 //! that turns the VM's event stream into owned records which `cp-core`
 //! packages into its `Trace` value.
 
-use cp_symexpr::{input_support, ExprRef, Width};
+use cp_symexpr::{ExprRef, Width};
 use cp_vm::{BranchEvent, MachineState, Observer, StmtEndEvent, Value};
 
 /// An owned record of one executed conditional branch.
@@ -39,12 +39,13 @@ impl BranchRecord {
     }
 
     /// Whether the condition depends on at least one of `offsets`.
+    ///
+    /// Untainted branches (no recorded expression) short-circuit to `false`;
+    /// tainted ones probe the arena's memoised support bitset, so the query
+    /// is O(|offsets|) instead of an O(tree) walk per branch.
     pub fn influenced_by(&self, offsets: &[usize]) -> bool {
         match &self.expr {
-            Some(expr) => {
-                let support = input_support(expr);
-                offsets.iter().any(|o| support.contains(o))
-            }
+            Some(expr) => expr.support().contains_any(offsets),
             None => false,
         }
     }
@@ -122,7 +123,7 @@ impl Observer for TraceRecorder {
             taken: event.taken,
             condition_value: event.condition.raw,
             condition_width: event.condition.width,
-            expr: event.expr.clone(),
+            expr: event.expr,
         });
     }
 

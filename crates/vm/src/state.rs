@@ -282,7 +282,7 @@ impl MachineState {
                     continue;
                 }
                 let byte = if offset == 0 {
-                    e.clone()
+                    e
                 } else {
                     e.binop(BinOp::ShrU, SymExpr::constant(w, 8 * offset))
                 };
@@ -312,7 +312,7 @@ impl MachineState {
             }
             let offset = addr - start;
             let byte = if offset == 0 {
-                expr.clone()
+                *expr
             } else {
                 expr.binop(BinOp::ShrU, SymExpr::constant(*width, 8 * offset))
             };
@@ -331,7 +331,7 @@ impl MachineState {
     pub fn load_shadow(&self, addr: u64, width: Width) -> Option<ExprRef> {
         if let Some((w, expr)) = self.shadow.get(&addr) {
             if *w == width {
-                return Some(expr.clone());
+                return Some(*expr);
             }
         }
         let mut bytes = Vec::with_capacity(width.bytes());
@@ -569,7 +569,7 @@ mod tests {
             .binop(BinOp::Shl, SymExpr::constant(Width::W16, 8))
             .binop(BinOp::Or, SymExpr::input_byte(1).zext(Width::W16));
         state.store(GLOBAL_BASE, Width::W16, 0x1234).unwrap();
-        state.set_shadow(GLOBAL_BASE, Width::W16, Some(expr.clone()));
+        state.set_shadow(GLOBAL_BASE, Width::W16, Some(expr));
         let input = [0x12u8, 0x34];
         let low = state
             .load_shadow(GLOBAL_BASE, Width::W8)

@@ -556,7 +556,7 @@ mod tests {
 
     impl Observer for BranchLog {
         fn on_branch(&mut self, event: &BranchEvent, _state: &MachineState) {
-            self.events.push((event.taken, event.expr.clone()));
+            self.events.push((event.taken, event.expr));
         }
     }
 

@@ -45,7 +45,7 @@ fn main() -> Result<(), PipelineError> {
     for check in trace.checks() {
         println!(
             "  {} ({} ops -> {} ops)",
-            check.condition,
+            check.condition(),
             check.raw_ops(),
             check.simplified_ops()
         );
