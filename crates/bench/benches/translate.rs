@@ -1,0 +1,132 @@
+//! Measures donor→recipient check translation: candidate pruning rate
+//! (pairs the disjoint-support bitsets reject before any solver call) and
+//! the latency of the solver stages behind it.
+
+use cp_bench::harness::{bench, emit_with, section};
+use cp_core::Session;
+use cp_solver::{Equivalence, SampleSolver, Solver};
+use cp_symexpr::{BinOp, ExprBuild, SymExpr, Width};
+
+fn main() {
+    section("translation (donor checks into recipient namespaces)");
+
+    // Record every scenario's donor (stripped, error input) and recipient
+    // (benign input) once; translation is the measured stage.
+    let mut workloads = Vec::new();
+    for scenario in cp_corpus::scenarios() {
+        let donor = Session::builder()
+            .source(scenario.donor_source)
+            .stripped()
+            .input(scenario.error_input)
+            .record()
+            .expect("donor compiles");
+        let recipient = Session::builder()
+            .source(scenario.source)
+            .input(scenario.benign_input)
+            .record()
+            .expect("recipient compiles");
+        workloads.push((scenario, donor, recipient));
+    }
+
+    let mut measurements = Vec::new();
+    let mut pairs = 0u64;
+    let mut pruned = 0u64;
+    let mut solver_calls = 0u64;
+    let mut proved = 0u64;
+    for (scenario, donor, recipient) in &workloads {
+        let format = scenario.format();
+        let check = donor
+            .checks()
+            .iter()
+            .find(|c| !c.support().is_empty())
+            .expect("donor has a tainted check");
+        let translation = recipient
+            .translate_check(check, &format)
+            .expect("corpus checks translate");
+        pairs += translation.stats.pairs as u64;
+        pruned += translation.stats.pruned_disjoint as u64;
+        solver_calls += translation.stats.solver_calls as u64;
+        proved += translation.stats.proved as u64;
+        println!(
+            "{:<24} fields {} pairs {:>3} pruned {:>3} solver {:>2} proved {:>2}",
+            scenario.name,
+            translation.stats.fields,
+            translation.stats.pairs,
+            translation.stats.pruned_disjoint,
+            translation.stats.solver_calls,
+            translation.stats.proved,
+        );
+        let m = bench(&format!("translate/{}", scenario.name), 5, 60, || {
+            recipient
+                .translate_check(check, &format)
+                .expect("corpus checks translate")
+                .bindings
+                .len()
+        });
+        println!("{}", m.report());
+        measurements.push(m);
+    }
+    println!(
+        "pruning: {pruned}/{pairs} pairs rejected by disjoint support, {solver_calls} solver calls ({proved} proved)"
+    );
+
+    // Isolated solver latency: a proof the strashed miter closes instantly,
+    // a proof that needs real SAT search, and a sampling refutation.
+    section("solver latency");
+    let be16 = |hi: usize, lo: usize| {
+        SymExpr::input_byte(hi)
+            .zext(Width::W16)
+            .binop(BinOp::Shl, SymExpr::constant(Width::W16, 8))
+            .binop(BinOp::Or, SymExpr::input_byte(lo).zext(Width::W16))
+    };
+    let solver = Solver::default();
+
+    let field = SymExpr::field("/hdr/width", Width::W16, vec![0, 1]);
+    let raw = be16(0, 1);
+    let structural = bench("solver/prove-field-vs-bytes", 10, 200, || {
+        assert!(solver.equivalent(&field, &raw).is_proved());
+    });
+    println!("{}", structural.report());
+
+    let x = SymExpr::input_byte(2).zext(Width::W16);
+    let y = SymExpr::input_byte(3).zext(Width::W16);
+    let z = SymExpr::input_byte(4).zext(Width::W16);
+    let assoc_l = x.binop(BinOp::Add, y).binop(BinOp::Add, z);
+    let assoc_r = x.binop(BinOp::Add, y.binop(BinOp::Add, z));
+    let sat_proof = bench("solver/prove-reassociated-add", 5, 60, || {
+        assert!(solver.equivalent(&assoc_l, &assoc_r).is_proved());
+    });
+    println!("{}", sat_proof.report());
+
+    let refuted = bench("solver/refute-disjoint-bytes", 10, 200, || {
+        assert!(matches!(
+            solver.equivalent(&be16(0, 1), &be16(2, 3)),
+            Equivalence::Refuted { .. }
+        ));
+    });
+    println!("{}", refuted.report());
+
+    let sampler = SampleSolver::default();
+    let sampled = bench("solver/sample-only-consistent", 10, 200, || {
+        assert!(sampler.equivalent(&field, &raw).is_consistent());
+    });
+    println!("{}", sampled.report());
+
+    measurements.extend([structural, sat_proof, refuted, sampled]);
+    let rate = if pairs == 0 {
+        0.0
+    } else {
+        pruned as f64 / pairs as f64
+    };
+    emit_with(
+        "translate",
+        &measurements,
+        &[
+            ("pairs", pairs as f64),
+            ("pruned_disjoint", pruned as f64),
+            ("solver_calls", solver_calls as f64),
+            ("proved", proved as f64),
+            ("pruning_rate", rate),
+        ],
+    );
+}

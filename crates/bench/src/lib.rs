@@ -112,11 +112,17 @@ pub mod harness {
 
     /// Merges `measurements` into `BENCH.json` under the `bench` key,
     /// preserving the entries other bench binaries wrote.
+    pub fn emit(bench: &str, measurements: &[Measurement]) {
+        emit_with(bench, measurements, &[]);
+    }
+
+    /// Like [`emit`], with additional dimensionless `counters` (pair counts,
+    /// pruning rates, …) recorded alongside the timing entries.
     ///
     /// Failures to read or parse an existing file fall back to a fresh
     /// document; write failures are reported to stderr but never panic, so a
     /// read-only checkout can still run the benches.
-    pub fn emit(bench: &str, measurements: &[Measurement]) {
+    pub fn emit_with(bench: &str, measurements: &[Measurement], counters: &[(&str, f64)]) {
         let path = results_path();
         let mut doc = std::fs::read_to_string(&path)
             .ok()
@@ -135,6 +141,9 @@ pub mod harness {
                 ),
             ]);
             cases.push((m.name.clone(), entry));
+        }
+        for (name, value) in counters {
+            cases.push((name.to_string(), crate::json::Value::Number(*value)));
         }
         doc.retain(|(key, _)| key != bench);
         doc.push((bench.to_string(), crate::json::Value::Object(cases)));

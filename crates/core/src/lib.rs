@@ -39,9 +39,14 @@
 //! ```
 
 use cp_bytecode::{compile, CompileError, CompiledProgram};
+use cp_formats::FormatDescriptor;
 use cp_lang::{frontend, LangError};
+use cp_solver::translate::{Candidate, TranslateError, Translation, Translator};
 use cp_symexpr::{rewrite, ExprRef};
-use cp_taint::{AllocRecord, BranchRecord, CallRecord, InputReadRecord, TraceRecorder};
+use cp_taint::{
+    AllocRecord, BranchRecord, CallRecord, InputReadRecord, ScopeRecorder, TraceRecorder,
+    VarValueRecord,
+};
 use cp_vm::{
     run_with_observer, BranchEvent, MachineState, Observer, RunConfig, StmtEndEvent, Termination,
     Value, VmError,
@@ -49,6 +54,10 @@ use cp_vm::{
 use std::fmt;
 use std::sync::OnceLock;
 
+pub use cp_solver::translate::{
+    Candidate as TranslationCandidate, TranslateError as CheckTranslateError,
+    Translation as CheckTranslation,
+};
 pub use cp_taint::TraceRecorder as Recorder;
 pub use cp_vm::RunConfig as VmRunConfig;
 
@@ -157,6 +166,9 @@ pub struct Trace {
     pub calls: Vec<CallRecord>,
     /// Values the program passed to `output`.
     pub outputs: Vec<u64>,
+    /// Tainted scalar-variable values observed at statement boundaries
+    /// (empty for stripped programs, which carry no debug information).
+    pub var_values: Vec<VarValueRecord>,
     /// How the run ended.
     pub termination: Termination,
     /// Instructions executed.
@@ -216,6 +228,65 @@ impl Trace {
             }
             checks
         })
+    }
+
+    /// The expressions this trace's program computed, as translation
+    /// material for a donor check (paper Section 3.3).
+    ///
+    /// Ordered from most to least insertable: named variable values first
+    /// (what a patch would actually reference), then branch conditions, then
+    /// allocation sizes.  Deduplicated by interned node, so a loop that
+    /// re-observes the same value contributes one candidate.
+    pub fn candidates(&self) -> Vec<Candidate> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for var in &self.var_values {
+            if seen.insert(var.expr) {
+                out.push(Candidate::new(format!("var {}", var.name), var.expr));
+            }
+        }
+        for branch in &self.branches {
+            if let Some(expr) = &branch.expr {
+                if seen.insert(*expr) {
+                    out.push(Candidate::new(
+                        format!("branch fn#{}@{}", branch.function, branch.pc),
+                        *expr,
+                    ));
+                }
+            }
+        }
+        for (i, alloc) in self.allocs.iter().enumerate() {
+            if let Some(expr) = &alloc.size_expr {
+                if seen.insert(*expr) {
+                    out.push(Candidate::new(format!("alloc #{i} size"), *expr));
+                }
+            }
+        }
+        out
+    }
+
+    /// Translates a donor check into this trace's (the recipient's)
+    /// namespace.
+    ///
+    /// The donor check's simplified condition is folded over `format` so its
+    /// tainted leaves become named fields, then every field is matched
+    /// against this trace's [`candidates`](Trace::candidates) — pruned by
+    /// disjoint support, decided by the bitvector solver — and substituted
+    /// on a `Proved` verdict.  See [`cp_solver::translate`] for the
+    /// machinery and the returned [`Translation`]'s solver-effort counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] if the folded condition still reads raw
+    /// input bytes no field names, or if some field has no provably
+    /// equivalent recipient expression.
+    pub fn translate_check(
+        &self,
+        donor: &Check,
+        format: &FormatDescriptor,
+    ) -> Result<Translation, TranslateError> {
+        let folded = format.fold(&donor.condition());
+        Translator::default().translate(&folded, &self.candidates())
     }
 }
 
@@ -353,9 +424,11 @@ impl Session {
     /// configured input untouched.
     pub fn record_with_input(&mut self, input: &[u8]) -> Trace {
         let mut recorder = TraceRecorder::new();
+        let mut scopes = ScopeRecorder::new(self.scope_debug());
         let result = {
             let mut fanout = Fanout {
                 recorder: &mut recorder,
+                scopes: &mut scopes,
                 extra: &mut self.observers,
             };
             run_with_observer(&self.program, input, &self.config, &mut fanout)
@@ -367,17 +440,36 @@ impl Session {
             allocs: recorder.allocs,
             calls: recorder.calls,
             outputs: result.outputs,
+            var_values: scopes.var_values,
             termination: result.termination,
             steps: result.steps,
             checks: OnceLock::new(),
         }
     }
+
+    /// Per-function-index debug records for the scope recorder (`None`
+    /// everywhere for stripped programs).
+    fn scope_debug(&self) -> Vec<Option<cp_lang::FunctionDebug>> {
+        let Some(debug) = &self.program.debug else {
+            return vec![None; self.program.functions.len()];
+        };
+        self.program
+            .functions
+            .iter()
+            .map(|f| {
+                f.name
+                    .as_deref()
+                    .and_then(|name| debug.functions.get(name).cloned())
+            })
+            .collect()
+    }
 }
 
-/// Forwards every event to the trace recorder and to the extra observers the
-/// caller registered.
+/// Forwards every event to the trace recorder, the scope recorder and the
+/// extra observers the caller registered.
 struct Fanout<'a> {
     recorder: &'a mut TraceRecorder,
+    scopes: &'a mut ScopeRecorder,
     extra: &'a mut [Box<dyn Observer>],
 }
 
@@ -398,6 +490,7 @@ impl Observer for Fanout<'_> {
 
     fn on_stmt_end(&mut self, event: &StmtEndEvent, state: &MachineState) {
         self.recorder.on_stmt_end(event, state);
+        self.scopes.on_stmt_end(event, state);
         for observer in self.extra.iter_mut() {
             observer.on_stmt_end(event, state);
         }

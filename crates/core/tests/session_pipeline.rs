@@ -278,3 +278,66 @@ fn checks_deduplicate_branch_sites() {
     assert!(trace.branches.len() > 1);
     assert_eq!(trace.checks().len(), 1);
 }
+
+/// A donor check over a named field translates into an expression the
+/// recipient itself computes, through `Trace::translate_check`.
+#[test]
+fn donor_checks_translate_into_recipient_variables() {
+    use cp_formats::FormatDescriptor;
+    use cp_symexpr::eval::eval;
+
+    // Donor: validates a big-endian 16-bit length field (stripped binary —
+    // the donor analysis needs no symbols).
+    let donor_trace = Session::builder()
+        .source(
+            r#"
+            fn main() -> u32 {
+                var len: u32 = ((input_byte(0) as u32) << 8) | (input_byte(1) as u32);
+                if (len > 1024) { exit(1); }
+                output(len as u64);
+                return 0;
+            }
+            "#,
+        )
+        .stripped()
+        .input([0xFFu8, 0xFF])
+        .record()
+        .expect("donor builds");
+    assert_eq!(donor_trace.termination, Termination::Exited(1));
+    let check = &donor_trace.checks()[0];
+
+    // Recipient: reads the same field into its own variable, no validation.
+    let recipient_trace = Session::builder()
+        .source(
+            r#"
+            fn main() -> u32 {
+                var length: u64 = ((input_byte(0) as u64) << 8) | (input_byte(1) as u64);
+                var buffer: u64 = malloc(length);
+                return 0;
+            }
+            "#,
+        )
+        .input([0x00u8, 0x40])
+        .record()
+        .expect("recipient builds");
+    let candidates = recipient_trace.candidates();
+    assert!(
+        candidates.iter().any(|c| c.label == "var length"),
+        "variable values must be candidates: {:?}",
+        candidates
+            .iter()
+            .map(|c| c.label.clone())
+            .collect::<Vec<_>>()
+    );
+
+    let format = FormatDescriptor::new().field("/pkt/len", vec![0, 1]);
+    let translation = recipient_trace
+        .translate_check(check, &format)
+        .expect("translates");
+    assert_eq!(translation.bindings.len(), 1);
+    assert_eq!(translation.bindings[0].path, "/pkt/len");
+    assert_eq!(translation.bindings[0].source, "var length");
+    // The translated guard discriminates exactly like the donor's.
+    assert_ne!(eval(&translation.condition, &[0xFFu8, 0xFF][..]), 0);
+    assert_eq!(eval(&translation.condition, &[0x00u8, 0x40][..]), 0);
+}

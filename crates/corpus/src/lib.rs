@@ -4,10 +4,24 @@
 //!
 //! The paper's evaluation runs ten donor→recipient transfer pairs over real
 //! image- and sound-parsing applications.  This crate holds the synthetic
-//! equivalents: small Phage-C programs that parse a binary header, each with
-//! an input that triggers one of the three error classes and a benign input
-//! that parses cleanly.  The benchmark harness and the Figure 8 report
-//! generator iterate over [`scenarios`].
+//! equivalents.  Each [`Scenario`] is a *pair* of programs over the same
+//! input format:
+//!
+//! * [`source`](Scenario::source) — the unguarded, vulnerable program (the
+//!   transfer *recipient*): an input can drive it into one of the three
+//!   error classes;
+//! * [`donor_source`](Scenario::donor_source) — a program that parses the
+//!   same header but **validates** it: the check Code Phage discovers,
+//!   excises and transfers.  On the error input the donor exits cleanly
+//!   (`exit(1)`) instead of faulting.
+//!
+//! [`Scenario::format`] gives the dissector's view of the input — the named
+//! byte ranges that turn raw-byte checks into `HachField` expressions — so a
+//! full record→fold→translate round trip needs nothing beyond this crate.
+//! The benchmark harness and the Figure 8 report generator iterate over
+//! [`scenarios`].
+
+use cp_formats::FormatDescriptor;
 
 /// Which of the paper's error classes a scenario exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,24 +34,46 @@ pub enum ErrorClass {
     OverflowIntoAllocation,
 }
 
-/// One donor scenario: a program plus an error-triggering and a benign input.
+/// One donor/recipient pair: a vulnerable program, a guarded donor over the
+/// same input format, and inputs exercising both paths.
 #[derive(Debug, Clone, Copy)]
 pub struct Scenario {
     /// Short unique name (used in benchmark output).
     pub name: &'static str,
-    /// Phage-C source of the donor.
+    /// Phage-C source of the unguarded, vulnerable program — the transfer
+    /// recipient.
     pub source: &'static str,
-    /// The error class `error_input` triggers.
+    /// Phage-C source of the guarded donor: same input format, plus the
+    /// validation check that makes it exit cleanly on `error_input`.
+    pub donor_source: &'static str,
+    /// The error class `error_input` triggers in the recipient.
     pub error_class: ErrorClass,
-    /// An input that drives the donor into the error.
+    /// An input that drives the recipient into the error (and the donor into
+    /// its check).
     pub error_input: &'static [u8],
-    /// An input the donor processes successfully.
+    /// An input both programs process successfully.
     pub benign_input: &'static [u8],
+    /// The input format's fields as `(path, big-endian byte offsets)` — what
+    /// the dissector reports for this input.
+    pub fields: &'static [(&'static str, &'static [usize])],
 }
 
-/// A donor that parses a big-endian image header and allocates
-/// `width * height` pixel bytes; a large header overflows the 32-bit size
-/// computation (the paper's CVE-2004-1288-style overflow-into-malloc donor).
+impl Scenario {
+    /// The input-format descriptor for this scenario's header.
+    pub fn format(&self) -> FormatDescriptor {
+        self.fields
+            .iter()
+            .fold(FormatDescriptor::new(), |fmt, (path, offsets)| {
+                fmt.field(*path, offsets.to_vec())
+            })
+    }
+}
+
+/// A recipient that parses a big-endian image header and allocates
+/// `width * height * depth` pixel bytes; a large header overflows the 32-bit
+/// size computation (the paper's CVE-2004-1288-style overflow-into-malloc
+/// recipient).  The donor computes the size at 64 bits and rejects anything
+/// that would not fit in 32 — the check to transfer.
 pub const IMAGE_ALLOC: Scenario = Scenario {
     name: "image-alloc-overflow",
     source: r#"
@@ -54,13 +90,34 @@ pub const IMAGE_ALLOC: Scenario = Scenario {
             return 0;
         }
     "#,
+    donor_source: r#"
+        fn read_u16(off: u64) -> u16 {
+            return ((input_byte(off) as u16) << 8) | (input_byte(off + 1) as u16);
+        }
+        fn main() -> u32 {
+            var width: u64 = read_u16(0) as u64;
+            var height: u64 = read_u16(2) as u64;
+            var depth: u64 = read_u16(4) as u64;
+            var size: u64 = (width * height) * depth;
+            if (size > 4294967295) { exit(1); }
+            var pixels: u64 = malloc(size);
+            output(size);
+            return 0;
+        }
+    "#,
     error_class: ErrorClass::OverflowIntoAllocation,
     error_input: &[0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x04],
     benign_input: &[0x00, 0x10, 0x00, 0x10, 0x00, 0x04],
+    fields: &[
+        ("/img/width", &[0, 1]),
+        ("/img/height", &[2, 3]),
+        ("/img/depth", &[4, 5]),
+    ],
 };
 
-/// A donor that indexes a fixed-size palette with an input byte; indices past
-/// the palette end walk off the allocation (out-of-bounds read).
+/// A recipient that indexes a fixed-size palette with an input byte; indices
+/// past the palette end walk off the allocation (out-of-bounds read).  The
+/// donor bounds-checks the index first.
 pub const PALETTE_OOB: Scenario = Scenario {
     name: "palette-oob-read",
     source: r#"
@@ -76,13 +133,29 @@ pub const PALETTE_OOB: Scenario = Scenario {
             return 0;
         }
     "#,
+    donor_source: r#"
+        fn main() -> u32 {
+            var palette: ptr<u32> = malloc(64) as ptr<u32>;
+            var i: u64 = 0;
+            while (i < 16) {
+                palette[i] = (i * 17) as u32;
+                i = i + 1;
+            }
+            var index: u64 = input_byte(0) as u64;
+            if (index > 15) { exit(1); }
+            output(palette[index] as u64);
+            return 0;
+        }
+    "#,
     error_class: ErrorClass::OutOfBounds,
     error_input: &[200],
     benign_input: &[7],
+    fields: &[("/pal/index", &[0])],
 };
 
-/// A donor that averages sample bytes over a count read from the header; a
-/// zero count divides by zero (the paper's swfdec/gnash class of errors).
+/// A recipient that averages sample bytes over a count read from the header;
+/// a zero count divides by zero (the paper's swfdec/gnash class of errors).
+/// The donor rejects empty sample sets before dividing.
 pub const SAMPLE_DIV: Scenario = Scenario {
     name: "sample-rate-div",
     source: r#"
@@ -99,9 +172,25 @@ pub const SAMPLE_DIV: Scenario = Scenario {
             return mean;
         }
     "#,
+    donor_source: r#"
+        fn main() -> u32 {
+            var count: u32 = input_byte(0) as u32;
+            if (count == 0) { exit(1); }
+            var total: u32 = 0;
+            var i: u64 = 0;
+            while (i < (count as u64)) {
+                total = total + (input_byte(i + 1) as u32);
+                i = i + 1;
+            }
+            var mean: u32 = total / count;
+            output(mean as u64);
+            return mean;
+        }
+    "#,
     error_class: ErrorClass::DivideByZero,
     error_input: &[0],
     benign_input: &[4, 10, 20, 30, 40],
+    fields: &[("/snd/count", &[0])],
 };
 
 /// A recipient-shaped program for the image scenario: parses the same header
@@ -144,6 +233,16 @@ mod tests {
     fn inputs_differ_per_scenario() {
         for s in scenarios() {
             assert_ne!(s.error_input, s.benign_input, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn every_scenario_has_a_guarded_donor_and_a_format() {
+        for s in scenarios() {
+            assert_ne!(s.source, s.donor_source, "{}", s.name);
+            assert!(!s.fields.is_empty(), "{}", s.name);
+            let format = s.format();
+            assert_eq!(format.fields.len(), s.fields.len(), "{}", s.name);
         }
     }
 }

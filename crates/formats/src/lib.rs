@@ -13,7 +13,7 @@
 //! [`SymExpr::Field`] leaf.
 
 use cp_symexpr::bytes::{decompose, ByteVal};
-use cp_symexpr::{ExprBuild, ExprRef, SymExpr, Width};
+use cp_symexpr::{walk, ExprBuild, ExprRef, SymExpr, Width};
 
 /// One named field of an input format.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,28 +77,19 @@ impl FormatDescriptor {
 /// big-endian concatenation of one field of `format` (possibly zero-padded
 /// above) with a [`SymExpr::Field`] leaf, zero-extended to the width of the
 /// replaced subexpression.
+///
+/// Iterative bottom-up pass (via [`cp_symexpr::walk::rebuild`], memoised per
+/// interned node): the widest match wins exactly as in the old top-down
+/// recursion — folding a child never defeats a parent match, because
+/// `decompose` expands field leaves back into their input bytes — and
+/// loop-carried expressions hundreds of thousands of nodes deep fold without
+/// overflowing the call stack.
 pub fn fold_fields(expr: &ExprRef, format: &FormatDescriptor) -> ExprRef {
-    if let Some(folded) = match_field(expr, format) {
-        return folded;
-    }
-    match expr.as_ref() {
-        SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => *expr,
-        SymExpr::Unary { op, width, arg } => SymExpr::unary(*op, *width, fold_fields(arg, format)),
-        SymExpr::Binary {
-            op,
-            width,
-            lhs,
-            rhs,
-        } => SymExpr::binary(
-            *op,
-            *width,
-            fold_fields(lhs, format),
-            fold_fields(rhs, format),
-        ),
-        SymExpr::Cast { kind, width, arg } => {
-            SymExpr::cast(*kind, *width, fold_fields(arg, format))
-        }
-    }
+    walk::rebuild(
+        expr,
+        |_| None,
+        |rebuilt| match_field(&rebuilt, format).unwrap_or(rebuilt),
+    )
 }
 
 /// If `expr` denotes exactly one field of `format` (its low bytes are the
@@ -188,6 +179,21 @@ mod tests {
         let expr: ExprRef = SymExpr::input_byte(1).zext(Width::W16);
         let folded = header().fold(&expr);
         assert!(paper_format(&folded).contains("InputByte(1)"));
+    }
+
+    #[test]
+    fn deep_chains_fold_without_stack_overflow() {
+        // 100k nested adds above a foldable field read would overflow a
+        // recursive folding pass (and the decompose probes it makes).
+        let mut e = be16(0, 1).zext(Width::W64);
+        for _ in 0..100_000u32 {
+            e = e.binop(BinOp::Add, SymExpr::constant(Width::W64, 3));
+        }
+        let folded = header().fold(&e);
+        let rendered = paper_format(&folded);
+        assert!(rendered.contains("HachField(16,'/hdr/width')"));
+        let input = vec![0x01u8, 0x10];
+        assert_eq!(eval(&e, &input), eval(&folded, &input));
     }
 
     #[test]

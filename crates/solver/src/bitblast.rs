@@ -1,0 +1,1060 @@
+//! Word-level bit-blasting: symbolic expressions → AIG → CNF → DPLL.
+//!
+//! This is the refutation-complete half of the solver: an equivalence query
+//! over two expressions becomes a *miter* — a single circuit asserting that
+//! the two values differ in at least one bit.  If the miter is unsatisfiable
+//! the expressions are equal on **every** input (a proof, not a sampling
+//! verdict); if it is satisfiable the model decodes into a concrete witness
+//! environment on which they disagree.
+//!
+//! The pipeline is deliberately dependency-free and sized for the ≤64-bit,
+//! small-support expressions this corpus produces:
+//!
+//! * **AIG construction** ([`Blaster`]) — every expression node becomes a
+//!   vector of and-inverter literals, least-significant bit first, with
+//!   structural hashing.  Because `cp-symexpr` hash-conses expressions, two
+//!   structurally similar operands share gates, and the common case of a
+//!   simplifier-rewritten expression against its original collapses the miter
+//!   to constant false before any SAT search happens.
+//! * **Tseitin CNF** over the cone of influence of the miter output.
+//! * **CDCL** ([`Cdcl`]) — two-watched-literal unit propagation, first-UIP
+//!   clause learning with non-chronological backjumping, VSIDS-style
+//!   activities and phase saving, budgeted by a conflict limit so
+//!   pathological miters (e.g. wide multiplier equivalences) abandon to
+//!   `Unknown` instead of hanging.
+//!
+//! Division and remainder with symbolic operands are not blasted (restoring
+//! dividers would dominate the gate count for no workload benefit); the
+//! solver escalation in the crate root falls back to exhaustive enumeration
+//! over the input support for those.
+
+use cp_symexpr::{BinOp, CastKind, ExprRef, SymExpr, UnOp};
+use std::collections::HashMap;
+
+/// An AIG literal: `var << 1 | negated`.  Literal 0 is constant false,
+/// literal 1 constant true (variable 0 is reserved for the constant).
+pub type Lit = u32;
+
+/// Constant-false literal.
+pub const LIT_FALSE: Lit = 0;
+/// Constant-true literal.
+pub const LIT_TRUE: Lit = 1;
+
+#[inline]
+fn negate(lit: Lit) -> Lit {
+    lit ^ 1
+}
+
+#[inline]
+fn var_of(lit: Lit) -> u32 {
+    lit >> 1
+}
+
+/// Why a blasting attempt was abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlastError {
+    /// The expression uses an operator the blaster does not encode
+    /// (symbolic division/remainder).
+    Unsupported(&'static str),
+    /// The circuit exceeded the gate budget.
+    GateBudget,
+}
+
+/// Resource limits for one equivalence query.
+#[derive(Debug, Clone, Copy)]
+pub struct BlastLimits {
+    /// Maximum number of AND gates in the miter.
+    pub max_gates: usize,
+    /// Maximum DPLL conflicts before giving up.
+    pub max_conflicts: u64,
+}
+
+impl Default for BlastLimits {
+    fn default() -> Self {
+        BlastLimits {
+            max_gates: 100_000,
+            max_conflicts: 20_000,
+        }
+    }
+}
+
+/// The outcome of a miter check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlastOutcome {
+    /// The miter is unsatisfiable: the expressions agree on every input.
+    Unsat,
+    /// A satisfying model, decoded into input bytes on which they disagree.
+    Sat(Vec<(usize, u8)>),
+    /// The query was abandoned (unsupported operator or budget exceeded).
+    Abandoned(&'static str),
+}
+
+/// An and-inverter graph with structural hashing and constant folding.
+struct Aig {
+    /// Gate `g` (variable `first_gate + g`) is the AND of its two literals.
+    gates: Vec<(Lit, Lit)>,
+    first_gate: u32,
+    strash: HashMap<(Lit, Lit), Lit>,
+    max_gates: usize,
+}
+
+impl Aig {
+    fn new(n_inputs: u32, max_gates: usize) -> Self {
+        Aig {
+            gates: Vec::new(),
+            first_gate: n_inputs + 1,
+            strash: HashMap::new(),
+            max_gates,
+        }
+    }
+
+    fn n_vars(&self) -> usize {
+        self.first_gate as usize + self.gates.len()
+    }
+
+    fn and(&mut self, a: Lit, b: Lit) -> Result<Lit, BlastError> {
+        if a == LIT_FALSE || b == LIT_FALSE || a == negate(b) {
+            return Ok(LIT_FALSE);
+        }
+        if a == LIT_TRUE || a == b {
+            return Ok(b);
+        }
+        if b == LIT_TRUE {
+            return Ok(a);
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&lit) = self.strash.get(&key) {
+            return Ok(lit);
+        }
+        if self.gates.len() >= self.max_gates {
+            return Err(BlastError::GateBudget);
+        }
+        let lit = (self.first_gate + self.gates.len() as u32) << 1;
+        self.gates.push(key);
+        self.strash.insert(key, lit);
+        Ok(lit)
+    }
+
+    fn or(&mut self, a: Lit, b: Lit) -> Result<Lit, BlastError> {
+        Ok(negate(self.and(negate(a), negate(b))?))
+    }
+
+    fn xor(&mut self, a: Lit, b: Lit) -> Result<Lit, BlastError> {
+        let l = self.and(a, negate(b))?;
+        let r = self.and(negate(a), b)?;
+        self.or(l, r)
+    }
+
+    /// `if s { t } else { e }`.
+    fn mux(&mut self, s: Lit, t: Lit, e: Lit) -> Result<Lit, BlastError> {
+        let then_branch = self.and(s, t)?;
+        let else_branch = self.and(negate(s), e)?;
+        self.or(then_branch, else_branch)
+    }
+
+    /// Clauses of the Tseitin encoding of the cone of influence of `root`,
+    /// plus the unit clause asserting `root`.
+    fn cnf_cone(&self, root: Lit) -> Vec<Vec<Lit>> {
+        let mut clauses = Vec::new();
+        let mut marked = vec![false; self.n_vars()];
+        let mut stack = vec![var_of(root)];
+        while let Some(var) = stack.pop() {
+            if var < self.first_gate || marked[var as usize] {
+                continue;
+            }
+            marked[var as usize] = true;
+            let (a, b) = self.gates[(var - self.first_gate) as usize];
+            let g = var << 1;
+            // g ↔ a ∧ b.
+            clauses.push(vec![negate(g), a]);
+            clauses.push(vec![negate(g), b]);
+            clauses.push(vec![g, negate(a), negate(b)]);
+            stack.push(var_of(a));
+            stack.push(var_of(b));
+        }
+        clauses.push(vec![root]);
+        clauses
+    }
+}
+
+fn const_bits(n: usize, value: u64) -> Vec<Lit> {
+    (0..n)
+        .map(|i| {
+            if i < 64 && (value >> i) & 1 != 0 {
+                LIT_TRUE
+            } else {
+                LIT_FALSE
+            }
+        })
+        .collect()
+}
+
+/// Zero-extends or truncates a bit vector to `n` bits — the blasted analogue
+/// of `Width::truncate` on a `u64` value.
+fn resize_zero(bits: &[Lit], n: usize) -> Vec<Lit> {
+    let mut out = Vec::with_capacity(n);
+    out.extend(bits.iter().take(n).copied());
+    out.resize(n, LIT_FALSE);
+    out
+}
+
+fn invert(bits: &[Lit]) -> Vec<Lit> {
+    bits.iter().map(|&b| negate(b)).collect()
+}
+
+/// Bit-blasts expressions into a shared AIG.
+struct Blaster {
+    aig: Aig,
+    /// Input byte offset → first of its eight consecutive input variables.
+    offset_var: HashMap<usize, u32>,
+    /// Expression memo key → blasted bits at the expression's own width.
+    memo: HashMap<usize, Vec<Lit>>,
+}
+
+impl Blaster {
+    /// Allocates eight input variables per distinct support offset; gates
+    /// come after all inputs so model decoding can index inputs directly.
+    fn new(offsets: &[usize], max_gates: usize) -> Self {
+        let mut offset_var = HashMap::new();
+        for (i, &off) in offsets.iter().enumerate() {
+            offset_var.insert(off, 1 + 8 * i as u32);
+        }
+        Blaster {
+            aig: Aig::new(8 * offsets.len() as u32, max_gates),
+            offset_var,
+            memo: HashMap::new(),
+        }
+    }
+
+    fn input_bits(&self, offset: usize) -> Vec<Lit> {
+        let base = self.offset_var[&offset];
+        (0..8).map(|i| (base + i) << 1).collect()
+    }
+
+    /// `a + b + cin`, returning the sum and the carry out.
+    fn add(&mut self, a: &[Lit], b: &[Lit], cin: Lit) -> Result<(Vec<Lit>, Lit), BlastError> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let xy = self.aig.xor(x, y)?;
+            sum.push(self.aig.xor(xy, carry)?);
+            let gen = self.aig.and(x, y)?;
+            let prop = self.aig.and(xy, carry)?;
+            carry = self.aig.or(gen, prop)?;
+        }
+        Ok((sum, carry))
+    }
+
+    fn mul(&mut self, a: &[Lit], b: &[Lit]) -> Result<Vec<Lit>, BlastError> {
+        let n = a.len();
+        let mut acc = vec![LIT_FALSE; n];
+        for i in 0..n {
+            if b[i] == LIT_FALSE {
+                continue;
+            }
+            let mut pp = vec![LIT_FALSE; n];
+            for j in 0..n - i {
+                pp[i + j] = self.aig.and(a[j], b[i])?;
+            }
+            acc = self.add(&acc, &pp, LIT_FALSE)?.0;
+        }
+        Ok(acc)
+    }
+
+    fn or_reduce(&mut self, bits: &[Lit]) -> Result<Lit, BlastError> {
+        let mut acc = LIT_FALSE;
+        for &b in bits {
+            acc = self.aig.or(acc, b)?;
+        }
+        Ok(acc)
+    }
+
+    /// Unsigned `a < b`: no carry out of `a + ¬b + 1`.
+    fn ult(&mut self, a: &[Lit], b: &[Lit]) -> Result<Lit, BlastError> {
+        let nb = invert(b);
+        let (_, carry) = self.add(a, &nb, LIT_TRUE)?;
+        Ok(negate(carry))
+    }
+
+    /// Signed `a < b`: on differing signs the negative side is smaller,
+    /// otherwise the unsigned comparison decides.
+    fn slt(&mut self, a: &[Lit], b: &[Lit]) -> Result<Lit, BlastError> {
+        let (sa, sb) = (a[a.len() - 1], b[b.len() - 1]);
+        let unsigned = self.ult(a, b)?;
+        let diff_sign = self.aig.xor(sa, sb)?;
+        self.aig.mux(diff_sign, sa, unsigned)
+    }
+
+    fn equal(&mut self, a: &[Lit], b: &[Lit]) -> Result<Lit, BlastError> {
+        let mut acc = LIT_TRUE;
+        for (&x, &y) in a.iter().zip(b) {
+            let same = negate(self.aig.xor(x, y)?);
+            acc = self.aig.and(acc, same)?;
+        }
+        Ok(acc)
+    }
+
+    /// Barrel shifter matching `eval`'s semantics: shift amounts at or above
+    /// the operand width produce zero (`Shl`/`ShrU`) or the replicated sign
+    /// (`ShrS`).  Constant shift amounts fold to wires for free through the
+    /// AIG's constant propagation.
+    fn shift(&mut self, op: BinOp, a: &[Lit], b: &[Lit]) -> Result<Vec<Lit>, BlastError> {
+        let n = a.len();
+        let stages = n.trailing_zeros() as usize;
+        let fill = match op {
+            BinOp::ShrS => a[n - 1],
+            _ => LIT_FALSE,
+        };
+        let mut cur = a.to_vec();
+        for (s, &sel) in b.iter().enumerate().take(stages) {
+            let k = 1usize << s;
+            let mut next = Vec::with_capacity(n);
+            for i in 0..n {
+                let shifted = match op {
+                    BinOp::Shl => {
+                        if i >= k {
+                            cur[i - k]
+                        } else {
+                            LIT_FALSE
+                        }
+                    }
+                    _ => {
+                        if i + k < n {
+                            cur[i + k]
+                        } else {
+                            fill
+                        }
+                    }
+                };
+                next.push(self.aig.mux(sel, shifted, cur[i])?);
+            }
+            cur = next;
+        }
+        let oob = self.or_reduce(&b[stages..])?;
+        for bit in cur.iter_mut() {
+            *bit = self.aig.mux(oob, fill, *bit)?;
+        }
+        Ok(cur)
+    }
+
+    /// Blasts `root` (iterative post-order, memoised per interned node).
+    fn blast(&mut self, root: &ExprRef) -> Result<Vec<Lit>, BlastError> {
+        let mut stack: Vec<(ExprRef, bool)> = vec![(*root, false)];
+        while let Some((e, ready)) = stack.pop() {
+            if self.memo.contains_key(&e.memo_key()) {
+                continue;
+            }
+            if ready {
+                let bits = self.blast_node(&e)?;
+                self.memo.insert(e.memo_key(), bits);
+                continue;
+            }
+            match e.as_ref() {
+                SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => {
+                    let bits = self.blast_node(&e)?;
+                    self.memo.insert(e.memo_key(), bits);
+                }
+                SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => {
+                    stack.push((e, true));
+                    stack.push((*arg, false));
+                }
+                SymExpr::Binary { lhs, rhs, .. } => {
+                    stack.push((e, true));
+                    stack.push((*lhs, false));
+                    stack.push((*rhs, false));
+                }
+            }
+        }
+        Ok(self.memo[&root.memo_key()].clone())
+    }
+
+    /// Blasts one node whose children are already memoised, mirroring the
+    /// operand-width rules of `cp_symexpr::eval` exactly.
+    fn blast_node(&mut self, e: &ExprRef) -> Result<Vec<Lit>, BlastError> {
+        let node_bits = e.width().bits() as usize;
+        match e.as_ref() {
+            SymExpr::Const { width, value } => Ok(const_bits(node_bits, width.truncate(*value))),
+            SymExpr::InputByte { offset } => Ok(self.input_bits(*offset)),
+            SymExpr::Field { offsets, .. } => {
+                // v = fold(v << 8 | byte) over offsets, then truncate.
+                let mut v = vec![LIT_FALSE; 64];
+                for &off in offsets {
+                    let mut next = self.input_bits(off);
+                    next.extend_from_slice(&v[..56]);
+                    v = next;
+                }
+                Ok(resize_zero(&v, node_bits))
+            }
+            SymExpr::Unary { op, arg, .. } => {
+                let arg_bits = self.memo[&arg.memo_key()].clone();
+                match op {
+                    UnOp::Neg => {
+                        let a = invert(&resize_zero(&arg_bits, node_bits));
+                        let zero = vec![LIT_FALSE; node_bits];
+                        Ok(self.add(&a, &zero, LIT_TRUE)?.0)
+                    }
+                    // `!a` on the untruncated u64 sets every bit above the
+                    // operand width; inverting the zero-extension models that.
+                    UnOp::Not => Ok(invert(&resize_zero(&arg_bits, node_bits))),
+                    UnOp::LogicalNot => {
+                        let any = self.or_reduce(&arg_bits)?;
+                        let mut out = vec![LIT_FALSE; node_bits];
+                        out[0] = negate(any);
+                        Ok(out)
+                    }
+                }
+            }
+            SymExpr::Cast { kind, width, arg } => {
+                let arg_bits = self.memo[&arg.memo_key()].clone();
+                match kind {
+                    CastKind::ZeroExt | CastKind::Truncate => Ok(resize_zero(&arg_bits, node_bits)),
+                    CastKind::SignExt => {
+                        if width.bits() as usize <= arg_bits.len() {
+                            Ok(resize_zero(&arg_bits, node_bits))
+                        } else {
+                            let sign = arg_bits[arg_bits.len() - 1];
+                            let mut out = arg_bits;
+                            out.resize(node_bits, sign);
+                            Ok(out)
+                        }
+                    }
+                }
+            }
+            SymExpr::Binary { op, lhs, rhs, .. } => {
+                let ow = if op.is_comparison() {
+                    lhs.width().bits() as usize
+                } else {
+                    node_bits
+                };
+                let a = resize_zero(&self.memo[&lhs.memo_key()].clone(), ow);
+                let b = resize_zero(&self.memo[&rhs.memo_key()].clone(), ow);
+                let result = match op {
+                    BinOp::Add => self.add(&a, &b, LIT_FALSE)?.0,
+                    BinOp::Sub => {
+                        let nb = invert(&b);
+                        self.add(&a, &nb, LIT_TRUE)?.0
+                    }
+                    BinOp::Mul => self.mul(&a, &b)?,
+                    BinOp::DivU | BinOp::DivS | BinOp::RemU | BinOp::RemS => {
+                        return Err(BlastError::Unsupported("division"));
+                    }
+                    BinOp::And => {
+                        let mut out = Vec::with_capacity(ow);
+                        for (&x, &y) in a.iter().zip(&b) {
+                            out.push(self.aig.and(x, y)?);
+                        }
+                        out
+                    }
+                    BinOp::Or => {
+                        let mut out = Vec::with_capacity(ow);
+                        for (&x, &y) in a.iter().zip(&b) {
+                            out.push(self.aig.or(x, y)?);
+                        }
+                        out
+                    }
+                    BinOp::Xor => {
+                        let mut out = Vec::with_capacity(ow);
+                        for (&x, &y) in a.iter().zip(&b) {
+                            out.push(self.aig.xor(x, y)?);
+                        }
+                        out
+                    }
+                    BinOp::Shl | BinOp::ShrU | BinOp::ShrS => self.shift(*op, &a, &b)?,
+                    BinOp::Eq => vec![self.equal(&a, &b)?],
+                    BinOp::Ne => vec![negate(self.equal(&a, &b)?)],
+                    BinOp::LtU => vec![self.ult(&a, &b)?],
+                    BinOp::LeU => vec![negate(self.ult(&b, &a)?)],
+                    BinOp::LtS => vec![self.slt(&a, &b)?],
+                    BinOp::LeS => vec![negate(self.slt(&b, &a)?)],
+                };
+                Ok(resize_zero(&result, node_bits))
+            }
+        }
+    }
+}
+
+/// Checks whether `a` and `b` denote the same `u64` value on every input.
+///
+/// Builds the miter `a ≠ b` (both values zero-extended to a common width,
+/// exactly as the sampling comparison treats `eval` results) and decides it
+/// with the built-in DPLL under `limits`.
+pub fn check_equiv(a: &ExprRef, b: &ExprRef, limits: &BlastLimits) -> BlastOutcome {
+    let mut offsets: Vec<usize> = a.support().iter().chain(b.support().iter()).collect();
+    offsets.sort_unstable();
+    offsets.dedup();
+
+    let mut blaster = Blaster::new(&offsets, limits.max_gates);
+    let build = |blaster: &mut Blaster| -> Result<Lit, BlastError> {
+        let va = blaster.blast(a)?;
+        let vb = blaster.blast(b)?;
+        let n = va.len().max(vb.len());
+        let va = resize_zero(&va, n);
+        let vb = resize_zero(&vb, n);
+        let mut diff = LIT_FALSE;
+        for (&x, &y) in va.iter().zip(&vb) {
+            let bit = blaster.aig.xor(x, y)?;
+            diff = blaster.aig.or(diff, bit)?;
+        }
+        Ok(diff)
+    };
+    let diff = match build(&mut blaster) {
+        Ok(diff) => diff,
+        Err(BlastError::Unsupported(why)) => return BlastOutcome::Abandoned(why),
+        Err(BlastError::GateBudget) => return BlastOutcome::Abandoned("gate budget"),
+    };
+    if diff == LIT_FALSE {
+        return BlastOutcome::Unsat;
+    }
+    if diff == LIT_TRUE {
+        // The miter folded to constant true: every environment disagrees.
+        return BlastOutcome::Sat(offsets.iter().map(|&o| (o, 0)).collect());
+    }
+
+    let clauses = blaster.aig.cnf_cone(diff);
+    let mut sat = Cdcl::new(blaster.aig.n_vars(), clauses);
+    match sat.solve(limits.max_conflicts) {
+        None => BlastOutcome::Abandoned("conflict budget"),
+        Some(false) => BlastOutcome::Unsat,
+        Some(true) => {
+            let witness = offsets
+                .iter()
+                .map(|&off| {
+                    let base = blaster.offset_var[&off];
+                    let mut byte = 0u8;
+                    for i in 0..8u32 {
+                        if sat.value(base + i) {
+                            byte |= 1 << i;
+                        }
+                    }
+                    (off, byte)
+                })
+                .collect();
+            BlastOutcome::Sat(witness)
+        }
+    }
+}
+
+/// A small conflict-driven clause-learning (CDCL) SAT solver: two watched
+/// literals, first-UIP conflict analysis with non-chronological backjumping,
+/// VSIDS-style variable activities and phase saving.  Clause learning is
+/// what makes adder/shifter equivalence miters tractable — a plain DPLL
+/// re-derives the same carry-chain conflicts exponentially often.
+struct Cdcl {
+    /// Problem clauses followed by learned clauses.
+    clauses: Vec<Vec<Lit>>,
+    /// Literal → indices of clauses watching it.
+    watches: Vec<Vec<u32>>,
+    /// Variable assignment: -1 unassigned, 0 false, 1 true.
+    assign: Vec<i8>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Clause that implied each variable (`None` for decisions and level-0
+    /// units).
+    reason: Vec<Option<u32>>,
+    /// Assigned literals in assignment order.
+    trail: Vec<Lit>,
+    /// Trail length at each decision.
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    /// VSIDS activity per variable, with the current bump increment.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Max-activity heap of candidate decision variables (entries may be
+    /// stale; staleness is checked on pop).
+    heap: std::collections::BinaryHeap<(ActKey, u32)>,
+    /// Saved phase per variable.
+    phase: Vec<bool>,
+    /// Scratch marker per variable for conflict analysis (cleared via
+    /// `marked` after every analysis, never reallocated).
+    seen: Vec<bool>,
+    unsat: bool,
+}
+
+/// `f64` activity as a totally ordered heap key.
+#[derive(PartialEq)]
+struct ActKey(f64);
+
+impl Eq for ActKey {}
+
+impl PartialOrd for ActKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ActKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Cdcl {
+    fn new(n_vars: usize, clauses: Vec<Vec<Lit>>) -> Self {
+        let mut sat = Cdcl {
+            clauses: Vec::with_capacity(clauses.len()),
+            watches: vec![Vec::new(); 2 * n_vars],
+            assign: vec![-1; n_vars],
+            level: vec![0; n_vars],
+            reason: vec![None; n_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: vec![0.0; n_vars],
+            var_inc: 1.0,
+            heap: std::collections::BinaryHeap::new(),
+            phase: vec![false; n_vars],
+            seen: vec![false; n_vars],
+            unsat: false,
+        };
+        // Variable 0 is the constant-false reserved variable.
+        sat.assign[0] = 0;
+        for clause in clauses {
+            match clause.len() {
+                0 => sat.unsat = true,
+                1 => {
+                    if !sat.enqueue(clause[0], None) {
+                        sat.unsat = true;
+                    }
+                }
+                _ => {
+                    for &lit in &clause {
+                        let v = var_of(lit) as usize;
+                        sat.activity[v] += 1.0;
+                        sat.phase[v] = lit & 1 != 0;
+                    }
+                    sat.attach(clause);
+                }
+            }
+        }
+        for v in 1..n_vars as u32 {
+            if sat.activity[v as usize] > 0.0 {
+                sat.heap.push((ActKey(sat.activity[v as usize]), v));
+            }
+        }
+        sat
+    }
+
+    fn attach(&mut self, clause: Vec<Lit>) -> u32 {
+        let idx = self.clauses.len() as u32;
+        self.watches[clause[0] as usize].push(idx);
+        self.watches[clause[1] as usize].push(idx);
+        self.clauses.push(clause);
+        idx
+    }
+
+    fn value(&self, var: u32) -> bool {
+        self.assign[var as usize] == 1
+    }
+
+    fn lit_val(assign: &[i8], lit: Lit) -> i8 {
+        match assign[var_of(lit) as usize] {
+            -1 => -1,
+            v => {
+                if lit & 1 == 0 {
+                    v
+                } else {
+                    1 - v
+                }
+            }
+        }
+    }
+
+    fn current_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn bump(&mut self, var: u32) {
+        let act = &mut self.activity[var as usize];
+        *act += self.var_inc;
+        if *act > 1e100 {
+            for a in self.activity.iter_mut() {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.push((ActKey(self.activity[var as usize]), var));
+    }
+
+    /// Makes `lit` true; false if it is already false (conflict).
+    fn enqueue(&mut self, lit: Lit, reason: Option<u32>) -> bool {
+        match Self::lit_val(&self.assign, lit) {
+            0 => false,
+            1 => true,
+            _ => {
+                let v = var_of(lit) as usize;
+                self.assign[v] = i8::from(lit & 1 == 0);
+                self.level[v] = self.current_level();
+                self.reason[v] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.prop_head < self.trail.len() {
+            let falsified = negate(self.trail[self.prop_head]);
+            self.prop_head += 1;
+            let mut watchers = std::mem::take(&mut self.watches[falsified as usize]);
+            let mut keep = 0;
+            let mut conflict = None;
+            'watchers: for w in 0..watchers.len() {
+                let ci = watchers[w];
+                let other = {
+                    let clause = &mut self.clauses[ci as usize];
+                    // Normalise: the falsified literal sits at slot 1.
+                    if clause[0] == falsified {
+                        clause.swap(0, 1);
+                    }
+                    let other = clause[0];
+                    if Self::lit_val(&self.assign, other) == 1 {
+                        watchers[keep] = ci;
+                        keep += 1;
+                        continue;
+                    }
+                    // Look for a non-false replacement watch.
+                    let mut replaced = false;
+                    for k in 2..clause.len() {
+                        if Self::lit_val(&self.assign, clause[k]) != 0 {
+                            clause.swap(1, k);
+                            let new_watch = clause[1];
+                            self.watches[new_watch as usize].push(ci);
+                            replaced = true;
+                            break;
+                        }
+                    }
+                    if replaced {
+                        continue 'watchers;
+                    }
+                    other
+                };
+                // Unit or conflicting.
+                watchers[keep] = ci;
+                keep += 1;
+                if !self.enqueue(other, Some(ci)) {
+                    for j in w + 1..watchers.len() {
+                        watchers[keep] = watchers[j];
+                        keep += 1;
+                    }
+                    conflict = Some(ci);
+                    break;
+                }
+            }
+            watchers.truncate(keep);
+            debug_assert!(self.watches[falsified as usize].is_empty());
+            self.watches[falsified as usize] = watchers;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis: returns the learned clause (asserting
+    /// literal first) and the level to backjump to.
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+        let current = self.current_level();
+        let mut learned: Vec<Lit> = vec![LIT_FALSE]; // slot 0 = UIP, patched below
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut ci = conflict;
+        let mut idx = self.trail.len();
+        loop {
+            for &q in &self.clauses[ci as usize] {
+                if Some(q) == p {
+                    continue;
+                }
+                let v = var_of(q);
+                if !self.seen[v as usize] && self.level[v as usize] > 0 {
+                    self.seen[v as usize] = true;
+                    if self.level[v as usize] >= current {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal of the
+            // current level.
+            loop {
+                idx -= 1;
+                if self.seen[var_of(self.trail[idx]) as usize] {
+                    break;
+                }
+            }
+            let lit_p = self.trail[idx];
+            let v = var_of(lit_p);
+            self.seen[v as usize] = false;
+            self.bump(v);
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = negate(lit_p);
+                break;
+            }
+            ci = self.reason[v as usize].expect("implied literal has a reason");
+            p = Some(lit_p);
+        }
+        for &q in learned.iter().skip(1) {
+            let v = var_of(q);
+            self.seen[v as usize] = false;
+            self.bump(v);
+        }
+        // Backjump to the second-highest level in the clause; position that
+        // literal at slot 1 so it is watched.
+        let mut backjump = 0;
+        for i in 1..learned.len() {
+            let lvl = self.level[var_of(learned[i]) as usize];
+            if lvl > backjump {
+                backjump = lvl;
+                learned.swap(1, i);
+            }
+        }
+        (learned, backjump)
+    }
+
+    fn backtrack(&mut self, to_level: u32) {
+        while self.current_level() > to_level {
+            let lim = self.trail_lim.pop().expect("level underflow");
+            while self.trail.len() > lim {
+                let lit = self.trail.pop().expect("trail underflow");
+                let v = var_of(lit) as usize;
+                self.phase[v] = lit & 1 != 0;
+                self.assign[v] = -1;
+                self.reason[v] = None;
+                self.heap.push((ActKey(self.activity[v]), v as u32));
+            }
+        }
+        self.prop_head = self.trail.len();
+    }
+
+    /// Picks the unassigned variable with the highest activity.
+    fn decide(&mut self) -> Option<Lit> {
+        while let Some((_, v)) = self.heap.pop() {
+            if self.assign[v as usize] == -1 {
+                return Some((v << 1) | u32::from(self.phase[v as usize]));
+            }
+        }
+        None
+    }
+
+    /// Runs the search.  `Some(true)` = satisfiable (model via [`value`]),
+    /// `Some(false)` = unsatisfiable, `None` = conflict budget exceeded.
+    ///
+    /// [`value`]: Cdcl::value
+    fn solve(&mut self, max_conflicts: u64) -> Option<bool> {
+        if self.unsat {
+            return Some(false);
+        }
+        let mut conflicts = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                if self.current_level() == 0 {
+                    return Some(false);
+                }
+                conflicts += 1;
+                if conflicts > max_conflicts {
+                    return None;
+                }
+                let (learned, backjump) = self.analyze(conflict);
+                self.backtrack(backjump);
+                self.var_inc /= 0.95;
+                let assert_lit = learned[0];
+                let reason = if learned.len() >= 2 {
+                    Some(self.attach(learned))
+                } else {
+                    None
+                };
+                let ok = self.enqueue(assert_lit, reason);
+                debug_assert!(ok, "asserting literal must be unassigned after backjump");
+            } else {
+                let Some(decision) = self.decide() else {
+                    return Some(true);
+                };
+                self.trail_lim.push(self.trail.len());
+                let ok = self.enqueue(decision, None);
+                debug_assert!(ok, "decision variable was unassigned");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_symexpr::eval::eval;
+    use cp_symexpr::{ExprBuild, SymExpr, Width};
+
+    fn be16(hi: usize, lo: usize) -> ExprRef {
+        SymExpr::input_byte(hi)
+            .zext(Width::W16)
+            .binop(BinOp::Shl, SymExpr::constant(Width::W16, 8))
+            .binop(BinOp::Or, SymExpr::input_byte(lo).zext(Width::W16))
+    }
+
+    fn assert_witness_disagrees(a: &ExprRef, b: &ExprRef, witness: &[(usize, u8)]) {
+        let lookup = |offset: usize| {
+            witness
+                .iter()
+                .find(|(o, _)| *o == offset)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_ne!(eval(a, &lookup), eval(b, &lookup), "witness must disagree");
+    }
+
+    #[test]
+    fn field_equals_its_byte_concatenation() {
+        let raw = be16(4, 5);
+        let field = SymExpr::field("/hdr/height", Width::W16, vec![4, 5]);
+        assert_eq!(
+            check_equiv(&raw, &field, &BlastLimits::default()),
+            BlastOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn distinct_bytes_yield_a_real_witness() {
+        let a = be16(0, 1);
+        let b = be16(2, 3);
+        match check_equiv(&a, &b, &BlastLimits::default()) {
+            BlastOutcome::Sat(witness) => assert_witness_disagrees(&a, &b, &witness),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn addition_commutes() {
+        let x = SymExpr::input_byte(0).zext(Width::W32);
+        let y = SymExpr::input_byte(1).zext(Width::W32);
+        let ab = x.binop(BinOp::Add, y);
+        let ba = y.binop(BinOp::Add, x);
+        assert_eq!(
+            check_equiv(&ab, &ba, &BlastLimits::default()),
+            BlastOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn addition_associates() {
+        let x = SymExpr::input_byte(0).zext(Width::W16);
+        let y = SymExpr::input_byte(1).zext(Width::W16);
+        let z = SymExpr::input_byte(2).zext(Width::W16);
+        let left = x.binop(BinOp::Add, y).binop(BinOp::Add, z);
+        let right = x.binop(BinOp::Add, y.binop(BinOp::Add, z));
+        assert_eq!(
+            check_equiv(&left, &right, &BlastLimits::default()),
+            BlastOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn off_by_one_is_satisfiable_with_verified_witness() {
+        let x = SymExpr::input_byte(3).zext(Width::W32);
+        let a = x.binop(BinOp::Add, SymExpr::constant(Width::W32, 1));
+        let b = x.binop(BinOp::Add, SymExpr::constant(Width::W32, 2));
+        match check_equiv(&a, &b, &BlastLimits::default()) {
+            BlastOutcome::Sat(witness) => assert_witness_disagrees(&a, &b, &witness),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_increment_differs_exactly_at_wraparound() {
+        // x + 1 at 16 bits vs (x + 1) truncated through 8 bits: they differ
+        // only at x == 255 — a needle sampling rarely finds but SAT must.
+        let x = SymExpr::input_byte(0).zext(Width::W16);
+        let plus = x.binop(BinOp::Add, SymExpr::constant(Width::W16, 1));
+        let wrapped = plus.truncate(Width::W8).zext(Width::W16);
+        match check_equiv(&plus, &wrapped, &BlastLimits::default()) {
+            BlastOutcome::Sat(witness) => {
+                assert_eq!(witness, vec![(0, 255)]);
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn demorgan_holds() {
+        let x = SymExpr::input_byte(0);
+        let y = SymExpr::input_byte(1);
+        let lhs = x.binop(BinOp::And, y).unop(UnOp::Not);
+        let rhs = x.unop(UnOp::Not).binop(BinOp::Or, y.unop(UnOp::Not));
+        assert_eq!(
+            check_equiv(&lhs, &rhs, &BlastLimits::default()),
+            BlastOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn multiply_by_two_equals_shift() {
+        let x = SymExpr::input_byte(0).zext(Width::W16);
+        let double = x.binop(BinOp::Mul, SymExpr::constant(Width::W16, 2));
+        let shifted = x.binop(BinOp::Shl, SymExpr::constant(Width::W16, 1));
+        assert_eq!(
+            check_equiv(&double, &shifted, &BlastLimits::default()),
+            BlastOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn dynamic_shift_matches_eval_for_every_amount() {
+        // x >> s (symbolic s) vs eval on all 256*256 inputs would be the
+        // exhaustive check; here the miter against a wrong variant must be SAT
+        // and the witness must be genuine.
+        let x = SymExpr::input_byte(0).zext(Width::W16);
+        let s = SymExpr::input_byte(1).zext(Width::W16);
+        let shr = x.binop(BinOp::ShrU, s);
+        let shl = x.binop(BinOp::Shl, s);
+        match check_equiv(&shr, &shl, &BlastLimits::default()) {
+            BlastOutcome::Sat(witness) => assert_witness_disagrees(&shr, &shl, &witness),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signed_shift_replicates_the_sign_for_large_amounts() {
+        let x = SymExpr::input_byte(0);
+        let big = x.binop(BinOp::ShrS, SymExpr::constant(Width::W8, 200));
+        // For every x: result is 0xFF if the sign bit is set, else 0.
+        let expected = x
+            .binop(BinOp::LtS, SymExpr::constant(Width::W8, 0))
+            .binop(BinOp::Mul, SymExpr::constant(Width::W8, 0xFF));
+        assert_eq!(
+            check_equiv(&big, &expected, &BlastLimits::default()),
+            BlastOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn division_is_reported_unsupported() {
+        let x = SymExpr::input_byte(0).zext(Width::W16);
+        let y = SymExpr::input_byte(1).zext(Width::W16);
+        let div = x.binop(BinOp::DivU, y);
+        assert_eq!(
+            check_equiv(
+                &div,
+                &div.binop(BinOp::Add, SymExpr::constant(Width::W16, 0)),
+                &BlastLimits::default()
+            ),
+            BlastOutcome::Abandoned("division")
+        );
+    }
+
+    #[test]
+    fn gate_budget_abandons_instead_of_hanging() {
+        let x = SymExpr::input_byte(0).zext(Width::W64);
+        let y = SymExpr::input_byte(1).zext(Width::W64);
+        let a = x.binop(BinOp::Mul, y).binop(BinOp::Mul, x);
+        let b = y.binop(BinOp::Mul, x).binop(BinOp::Mul, x);
+        let limits = BlastLimits {
+            max_gates: 100,
+            max_conflicts: 10,
+        };
+        assert_eq!(
+            check_equiv(&a, &b, &limits),
+            BlastOutcome::Abandoned("gate budget")
+        );
+    }
+}

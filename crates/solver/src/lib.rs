@@ -1,40 +1,76 @@
 //! # cp-solver
 //!
-//! Equivalence checking between symbolic expressions.
+//! Equivalence checking between symbolic expressions, and the translation of
+//! donor checks into recipient-namespace expressions built on top of it.
 //!
 //! During translation (paper Section 3.3) Code Phage must decide whether a
 //! candidate recipient expression computes the same value as a donor
-//! expression.  The paper uses two mechanisms, both reproduced here:
+//! expression.  The crate layers three mechanisms behind one API:
 //!
-//! * a **disjoint-support fast path** — expressions over disjoint input byte
-//!   sets can only be equivalent if they are the same constant, so most
-//!   candidate pairs are rejected without any solving, and
-//! * an **equivalence query**.  In place of an SMT solver (unavailable in
-//!   this offline environment) [`SampleSolver`] refutes non-equivalent pairs
-//!   by evaluating both expressions under pseudo-random byte environments.
-//!   Sampling can prove *in*equivalence definitively; pairs that survive all
-//!   samples are reported [`Equivalence::Consistent`] rather than proven
-//!   equal, and a later PR can slot a real solver behind the same API.
+//! * a **disjoint-support fast path** ([`disjoint_support`]) — expressions
+//!   over disjoint input byte sets can only be equivalent if they are the
+//!   same constant, so most candidate pairs are rejected without any solving;
+//! * a **sampling refuter** ([`SampleSolver`]) that evaluates both
+//!   expressions under deterministic pseudo-random byte environments.
+//!   Sampling proves *in*equivalence (with a concrete witness) but can never
+//!   prove equality; and
+//! * a **real decision procedure** ([`Solver`]) that escalates from
+//!   structural equality through sampling to a bit-blasted SAT miter
+//!   ([`bitblast`]) and, for the operators the blaster does not encode, an
+//!   exhaustive enumeration of the (small) input support.  Its verdicts form
+//!   the three-point lattice [`Equivalence::Proved`] /
+//!   [`Equivalence::Refuted`] / [`Equivalence::Unknown`].
+//!
+//! The [`translate`] module uses [`Solver`] to map the `HachField` leaves of
+//! a donor check onto expressions the recipient itself computes, and
+//! [`differential`] cross-checks every solver verdict against the sampler on
+//! seeded randomized expression pairs.
 
+pub mod bitblast;
+pub mod differential;
+pub mod translate;
+
+use bitblast::{check_equiv, BlastLimits, BlastOutcome};
 use cp_symexpr::eval::eval;
+use cp_symexpr::rewrite::simplify;
 use cp_symexpr::ExprRef;
 
-/// The verdict of an equivalence query.
+/// The verdict of an equivalence query — a three-point lattice.
+///
+/// `Refuted` and `Proved` are definitive (a refutation always carries a
+/// concrete witness environment); `Unknown` means the query exhausted its
+/// budget or met an operator outside the decision procedure's fragment.
+/// [`SampleSolver`] alone can only ever report `Refuted` or `Unknown` (plus
+/// `Proved` for input-independent pairs); [`Solver`] upgrades surviving pairs
+/// to real proofs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Equivalence {
+    /// The expressions denote the same value under **every** byte
+    /// environment.
+    Proved,
     /// A concrete byte environment on which the expressions disagree.
     Refuted {
         /// Input bytes (indexed by offset) witnessing the disagreement.
         witness: Vec<(usize, u8)>,
     },
-    /// No disagreement found within the sample budget.
-    Consistent,
+    /// Neither proved nor refuted within the configured budgets.
+    Unknown,
 }
 
 impl Equivalence {
-    /// Whether the query found no counterexample.
+    /// Whether the query found no counterexample (`Proved` or `Unknown`).
     pub fn is_consistent(&self) -> bool {
-        matches!(self, Equivalence::Consistent)
+        !matches!(self, Equivalence::Refuted { .. })
+    }
+
+    /// Whether the expressions were proved equal on every input.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Equivalence::Proved)
+    }
+
+    /// Whether a concrete disagreement witness was found.
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, Equivalence::Refuted { .. })
     }
 }
 
@@ -47,6 +83,20 @@ impl Equivalence {
 /// expressions.
 pub fn disjoint_support(a: &ExprRef, b: &ExprRef) -> bool {
     a.support().is_disjoint(b.support())
+}
+
+/// Evaluates both expressions under the witness environment and reports
+/// whether they actually disagree — used to validate refutations before they
+/// are returned.
+fn witness_disagrees(a: &ExprRef, b: &ExprRef, witness: &[(usize, u8)]) -> bool {
+    let lookup = |offset: usize| {
+        witness
+            .iter()
+            .find(|(o, _)| *o == offset)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    eval(a, &lookup) != eval(b, &lookup)
 }
 
 /// A sampling-based refutation engine for equivalence queries.
@@ -76,12 +126,24 @@ impl SampleSolver {
         }
     }
 
+    /// Creates a solver with an explicit seed (used by the differential
+    /// harness so its reference stream never coincides with the one inside
+    /// [`Solver`]).
+    pub fn with_seed(seed: u64) -> Self {
+        SampleSolver {
+            seed,
+            ..Self::default()
+        }
+    }
+
     /// Tests whether `a` and `b` agree on every sampled byte environment.
     ///
     /// Deterministic: the same seed explores the same environments.  The
     /// first samples are not random — the all-zeros, all-ones and
     /// single-byte-extremes environments catch most boundary disagreements
-    /// before the pseudo-random stream starts.
+    /// before the pseudo-random stream starts.  Pairs that depend on no
+    /// input byte at all are decided by a single evaluation, so the verdict
+    /// is `Proved` rather than `Unknown` for them.
     pub fn equivalent(&self, a: &ExprRef, b: &ExprRef) -> Equivalence {
         let mut offsets: Vec<usize> = a.support().iter().chain(b.support().iter()).collect();
         offsets.sort_unstable();
@@ -89,13 +151,7 @@ impl SampleSolver {
 
         let mut env: Vec<(usize, u8)> = offsets.iter().map(|&o| (o, 0)).collect();
         let check = |env: &[(usize, u8)]| -> Option<Equivalence> {
-            let lookup = |offset: usize| {
-                env.iter()
-                    .find(|(o, _)| *o == offset)
-                    .map(|(_, v)| *v)
-                    .unwrap_or(0)
-            };
-            if eval(a, &lookup) != eval(b, &lookup) {
+            if witness_disagrees(a, b, env) {
                 Some(Equivalence::Refuted {
                     witness: env.to_vec(),
                 })
@@ -103,6 +159,14 @@ impl SampleSolver {
                 None
             }
         };
+
+        if offsets.is_empty() {
+            // Input-independent: one evaluation decides the query outright.
+            return match check(&env) {
+                Some(refuted) => refuted,
+                None => Equivalence::Proved,
+            };
+        }
 
         // Boundary environments first.
         for fill in [0x00u8, 0xFF, 0x80, 0x01] {
@@ -127,7 +191,109 @@ impl SampleSolver {
                 return refuted;
             }
         }
-        Equivalence::Consistent
+        Equivalence::Unknown
+    }
+}
+
+/// The full equivalence decision procedure.
+///
+/// Escalation order (cheapest first; every stage is sound, later stages are
+/// progressively more complete):
+///
+/// 1. **structural** — hash-consed handles, and their [`simplify`]d forms,
+///    are compared by pointer;
+/// 2. **sampling** — [`SampleSolver`] hunts for a cheap refutation witness;
+/// 3. **bit-blast** — the miter goes through [`bitblast::check_equiv`]:
+///    `Unsat` is a proof, a model is a (re-validated) witness;
+/// 4. **exhaustive enumeration** — when the blaster abandons (symbolic
+///    division, budget) and the union support is small enough that every
+///    byte environment fits in [`Solver::exhaustive_budget`] evaluations,
+///    enumeration decides the query exactly;
+/// 5. otherwise **Unknown**.
+#[derive(Debug, Clone, Copy)]
+pub struct Solver {
+    /// Sampling refuter used as a pre-filter.
+    pub sampler: SampleSolver,
+    /// Circuit and search budgets for the bit-blasting stage.
+    pub limits: BlastLimits,
+    /// Maximum number of environment evaluations the exhaustive fallback may
+    /// spend (256 per support byte, so the default covers two-byte supports).
+    pub exhaustive_budget: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver {
+            sampler: SampleSolver::with_samples(64),
+            limits: BlastLimits::default(),
+            exhaustive_budget: 1 << 16,
+        }
+    }
+}
+
+impl Solver {
+    /// Decides whether `a` and `b` denote the same value on every input.
+    ///
+    /// Verdicts are over the expressions' `u64` values (narrower expressions
+    /// compare zero-extended), matching the sampling semantics.  `Refuted`
+    /// witnesses are always re-validated by evaluation before being
+    /// returned.
+    pub fn equivalent(&self, a: &ExprRef, b: &ExprRef) -> Equivalence {
+        if a == b {
+            return Equivalence::Proved;
+        }
+        let sa = simplify(a);
+        let sb = simplify(b);
+        if sa == sb {
+            return Equivalence::Proved;
+        }
+
+        if let refuted @ Equivalence::Refuted { .. } = self.sampler.equivalent(&sa, &sb) {
+            return refuted;
+        }
+        if !sa.is_tainted() && !sb.is_tainted() {
+            // Input-independent and the single sampling evaluation agreed.
+            return Equivalence::Proved;
+        }
+
+        match check_equiv(&sa, &sb, &self.limits) {
+            BlastOutcome::Unsat => Equivalence::Proved,
+            BlastOutcome::Sat(witness) => {
+                // Defensive: a witness the original expressions do not
+                // actually disagree on is a solver bug, not a refutation.
+                if witness_disagrees(a, b, &witness) {
+                    Equivalence::Refuted { witness }
+                } else {
+                    Equivalence::Unknown
+                }
+            }
+            BlastOutcome::Abandoned(_) => self.exhaustive(&sa, &sb),
+        }
+    }
+
+    /// Enumerates every byte environment over the union support, when that
+    /// fits in the budget.
+    fn exhaustive(&self, a: &ExprRef, b: &ExprRef) -> Equivalence {
+        let mut offsets: Vec<usize> = a.support().iter().chain(b.support().iter()).collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        // k = 8 would need 2^64 evaluations (and 256^8 overflows u64), so
+        // only supports of up to seven bytes are even considered.
+        let k = offsets.len() as u32;
+        if k >= 8 || 256u64.saturating_pow(k) > self.exhaustive_budget {
+            return Equivalence::Unknown;
+        }
+        let mut env: Vec<(usize, u8)> = offsets.iter().map(|&o| (o, 0)).collect();
+        let total = 256u64.pow(k);
+        for assignment in 0..total {
+            for (i, slot) in env.iter_mut().enumerate() {
+                slot.1 = (assignment >> (8 * i)) as u8;
+            }
+            if witness_disagrees(a, b, &env) {
+                return Equivalence::Refuted { witness: env };
+            }
+        }
+        Equivalence::Proved
     }
 }
 
@@ -144,20 +310,25 @@ mod tests {
     }
 
     #[test]
-    fn field_leaf_is_consistent_with_its_byte_expansion() {
+    fn field_leaf_is_proved_equal_to_its_byte_expansion() {
         let raw = be16(4, 5);
         let field = SymExpr::field("/hdr/height", Width::W16, vec![4, 5]);
+        // Sampling alone cannot prove; the full solver can.
         assert!(SampleSolver::default()
             .equivalent(&raw, &field)
             .is_consistent());
+        assert_eq!(
+            Solver::default().equivalent(&raw, &field),
+            Equivalence::Proved
+        );
     }
 
     #[test]
     fn different_fields_are_refuted() {
         let a = be16(0, 1);
         let b = be16(2, 3);
-        let verdict = SampleSolver::default().equivalent(&a, &b);
-        assert!(matches!(verdict, Equivalence::Refuted { .. }));
+        assert!(SampleSolver::default().equivalent(&a, &b).is_refuted());
+        assert!(Solver::default().equivalent(&a, &b).is_refuted());
     }
 
     #[test]
@@ -167,7 +338,7 @@ mod tests {
         let b = x.binop(BinOp::Add, SymExpr::constant(Width::W32, 2));
         match SampleSolver::default().equivalent(&a, &b) {
             Equivalence::Refuted { witness } => assert_eq!(witness.len(), 1),
-            Equivalence::Consistent => panic!("expected refutation"),
+            other => panic!("expected refutation, got {other:?}"),
         }
     }
 
@@ -179,13 +350,78 @@ mod tests {
 
     #[test]
     fn boundary_environments_catch_overflow_disagreements() {
-        // x + 1 == x only disagrees... everywhere; but x vs min(x, 255)
-        // style disagreements need the 0xFF boundary probe.
         let x = SymExpr::input_byte(0).zext(Width::W16);
         let plus = x.binop(BinOp::Add, SymExpr::constant(Width::W16, 1));
         let trunc = plus.truncate(Width::W8).zext(Width::W16);
         // Equal below 255, different at 255: refuted by the 0xFF probe.
         let verdict = SampleSolver::with_samples(0).equivalent(&plus, &trunc);
-        assert!(matches!(verdict, Equivalence::Refuted { .. }));
+        assert!(verdict.is_refuted());
+    }
+
+    #[test]
+    fn sampler_proves_input_independent_pairs() {
+        let a =
+            SymExpr::constant(Width::W32, 6).binop(BinOp::Mul, SymExpr::constant(Width::W32, 7));
+        let b = SymExpr::constant(Width::W32, 42);
+        assert_eq!(
+            SampleSolver::default().equivalent(&a, &b),
+            Equivalence::Proved
+        );
+        let c = SymExpr::constant(Width::W32, 41);
+        assert!(SampleSolver::default().equivalent(&a, &c).is_refuted());
+    }
+
+    #[test]
+    fn solver_proves_width_adjusted_identities() {
+        // zext(x, 64) == x as u64 values.
+        let x = be16(2, 3);
+        let wide = x.zext(Width::W64);
+        assert_eq!(Solver::default().equivalent(&x, &wide), Equivalence::Proved);
+    }
+
+    #[test]
+    fn solver_decides_division_by_exhaustive_enumeration() {
+        // The blaster abandons on symbolic division; one support byte means
+        // 256 environments decide it exactly.
+        let x = SymExpr::input_byte(0).zext(Width::W16);
+        let halved = x.binop(BinOp::DivU, SymExpr::constant(Width::W16, 2));
+        let shifted = x.binop(BinOp::ShrU, SymExpr::constant(Width::W16, 1));
+        assert_eq!(
+            Solver::default().equivalent(&halved, &shifted),
+            Equivalence::Proved
+        );
+        let off = halved.binop(BinOp::Add, SymExpr::constant(Width::W16, 1));
+        assert!(Solver::default().equivalent(&off, &shifted).is_refuted());
+    }
+
+    #[test]
+    fn solver_refutes_needle_in_haystack_disagreements() {
+        // Disagrees only at x == 255: sampling misses it, SAT finds it.
+        let x = SymExpr::input_byte(9).zext(Width::W16);
+        let plus = x.binop(BinOp::Add, SymExpr::constant(Width::W16, 1));
+        let wrapped = plus.truncate(Width::W8).zext(Width::W16);
+        match Solver::default().equivalent(&plus, &wrapped) {
+            Equivalence::Refuted { witness } => assert_eq!(witness, vec![(9, 255)]),
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_when_every_stage_is_exhausted() {
+        // An equivalent pair (addition commutes) that sampling cannot refute,
+        // the blaster abandons (symbolic division) and the six-byte support
+        // puts beyond the exhaustive budget.
+        let byte = |i: usize| SymExpr::input_byte(i).zext(Width::W64);
+        let mut divisor = SymExpr::constant(Width::W64, 1);
+        for i in 2..6 {
+            divisor = divisor.binop(BinOp::Add, byte(i));
+        }
+        let a = byte(0)
+            .binop(BinOp::Add, byte(1))
+            .binop(BinOp::DivU, divisor);
+        let b = byte(1)
+            .binop(BinOp::Add, byte(0))
+            .binop(BinOp::DivU, divisor);
+        assert_eq!(Solver::default().equivalent(&a, &b), Equivalence::Unknown);
     }
 }

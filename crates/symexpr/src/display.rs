@@ -10,46 +10,58 @@ use crate::expr::SymExpr;
 use std::fmt;
 
 /// Renders an expression in the paper's prefix notation.
+///
+/// Iterative (explicit token stack): rendering a deep loop-carried
+/// expression for a report or an error message never overflows the call
+/// stack.
 pub fn paper_format(expr: &SymExpr) -> String {
+    enum Token<'a> {
+        Expr(&'a SymExpr),
+        Comma,
+        Close,
+    }
     let mut out = String::new();
-    write_expr(expr, &mut out);
-    out
-}
-
-fn write_expr(expr: &SymExpr, out: &mut String) {
-    match expr {
-        SymExpr::Const { value, .. } => {
-            out.push_str(&format!("Constant({value})"));
-        }
-        SymExpr::InputByte { offset } => {
-            out.push_str(&format!("InputByte({offset})"));
-        }
-        SymExpr::Field { path, width, .. } => {
-            out.push_str(&format!("HachField({width},'{path}')"));
-        }
-        SymExpr::Unary { op, width, arg } => {
-            out.push_str(&format!("{}({width},", op.mnemonic()));
-            write_expr(arg, out);
-            out.push(')');
-        }
-        SymExpr::Binary {
-            op,
-            width,
-            lhs,
-            rhs,
-        } => {
-            out.push_str(&format!("{}({width},", op.mnemonic()));
-            write_expr(lhs, out);
-            out.push(',');
-            write_expr(rhs, out);
-            out.push(')');
-        }
-        SymExpr::Cast { kind, width, arg } => {
-            out.push_str(&format!("{}({width},", kind.mnemonic()));
-            write_expr(arg, out);
-            out.push(')');
+    let mut stack: Vec<Token<'_>> = vec![Token::Expr(expr)];
+    while let Some(token) = stack.pop() {
+        match token {
+            Token::Comma => out.push(','),
+            Token::Close => out.push(')'),
+            Token::Expr(e) => match e {
+                SymExpr::Const { value, .. } => {
+                    out.push_str(&format!("Constant({value})"));
+                }
+                SymExpr::InputByte { offset } => {
+                    out.push_str(&format!("InputByte({offset})"));
+                }
+                SymExpr::Field { path, width, .. } => {
+                    out.push_str(&format!("HachField({width},'{path}')"));
+                }
+                SymExpr::Unary { op, width, arg } => {
+                    out.push_str(&format!("{}({width},", op.mnemonic()));
+                    stack.push(Token::Close);
+                    stack.push(Token::Expr(arg));
+                }
+                SymExpr::Binary {
+                    op,
+                    width,
+                    lhs,
+                    rhs,
+                } => {
+                    out.push_str(&format!("{}({width},", op.mnemonic()));
+                    stack.push(Token::Close);
+                    stack.push(Token::Expr(rhs));
+                    stack.push(Token::Comma);
+                    stack.push(Token::Expr(lhs));
+                }
+                SymExpr::Cast { kind, width, arg } => {
+                    out.push_str(&format!("{}({width},", kind.mnemonic()));
+                    stack.push(Token::Close);
+                    stack.push(Token::Expr(arg));
+                }
+            },
         }
     }
+    out
 }
 
 impl fmt::Display for SymExpr {
@@ -83,5 +95,18 @@ mod tests {
     fn display_matches_paper_format() {
         let e = SymExpr::input_byte(3);
         assert_eq!(e.to_string(), paper_format(&e));
+    }
+
+    #[test]
+    fn deep_chains_render_without_stack_overflow() {
+        // 100k nested adds would overflow a recursive renderer.
+        let mut e = SymExpr::input_byte(0).zext(Width::W64);
+        for _ in 0..100_000u32 {
+            e = e.binop(BinOp::Add, SymExpr::constant(Width::W64, 1));
+        }
+        let rendered = paper_format(&e);
+        assert!(rendered.starts_with("Add(64,Add(64,"));
+        assert!(rendered.ends_with("Constant(1))"));
+        assert_eq!(rendered.matches("Add(64,").count(), 100_000);
     }
 }

@@ -42,60 +42,88 @@ impl<F: Fn(usize) -> u8> ByteEnv for F {
 /// evaluates to the all-ones value of the result width and remainder by zero
 /// evaluates to the dividend, matching SMT-LIB bitvector semantics; the VM
 /// traps divide-by-zero before such a value could ever be observed in a run.
+///
+/// Iterative (explicit work and value stacks): loop-carried donor
+/// expressions hundreds of thousands of nodes deep evaluate without
+/// overflowing the call stack, which matters because the solver evaluates
+/// candidate checks under thousands of sampled environments.
 pub fn eval<E: ByteEnv + ?Sized>(expr: &SymExpr, env: &E) -> u64 {
-    let width = expr.width();
-    let raw = match expr {
-        SymExpr::Const { value, .. } => *value,
-        SymExpr::InputByte { offset } => env.byte(*offset) as u64,
-        SymExpr::Field { width, offsets, .. } => {
-            // Fields are stored big-endian in the input (most significant
-            // offset first), mirroring the synthetic formats.
-            let mut v: u64 = 0;
-            for &off in offsets {
-                v = (v << 8) | env.byte(off) as u64;
-            }
-            width.truncate(v)
-        }
-        SymExpr::Unary { op, width, arg } => {
-            let a = eval(arg.as_ref(), env);
-            match op {
-                UnOp::Neg => width.truncate((width.truncate(a)).wrapping_neg()),
-                UnOp::Not => width.truncate(!a),
-                UnOp::LogicalNot => {
-                    if a == 0 {
-                        1
-                    } else {
-                        0
+    // A node is visited once to schedule its children and once more
+    // (`ready`) to combine their values; leaves are folded immediately.
+    // `values` carries child results, pushed left-to-right.
+    enum Item<'a> {
+        Visit(&'a SymExpr),
+        Combine(&'a SymExpr),
+    }
+    let mut stack: Vec<Item<'_>> = vec![Item::Visit(expr)];
+    let mut values: Vec<u64> = Vec::new();
+    while let Some(item) = stack.pop() {
+        match item {
+            Item::Visit(e) => match e {
+                SymExpr::Const { width, value } => values.push(width.truncate(*value)),
+                SymExpr::InputByte { offset } => values.push(env.byte(*offset) as u64),
+                SymExpr::Field { width, offsets, .. } => {
+                    // Fields are stored big-endian in the input (most
+                    // significant offset first), as in the synthetic formats.
+                    let mut v: u64 = 0;
+                    for &off in offsets {
+                        v = (v << 8) | env.byte(off) as u64;
                     }
+                    values.push(width.truncate(v));
                 }
+                SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => {
+                    stack.push(Item::Combine(e));
+                    stack.push(Item::Visit(arg));
+                }
+                SymExpr::Binary { lhs, rhs, .. } => {
+                    stack.push(Item::Combine(e));
+                    stack.push(Item::Visit(rhs));
+                    stack.push(Item::Visit(lhs));
+                }
+            },
+            Item::Combine(e) => {
+                let combined = match e {
+                    SymExpr::Unary { op, width, .. } => {
+                        let a = values.pop().expect("operand evaluated");
+                        match op {
+                            UnOp::Neg => width.truncate((width.truncate(a)).wrapping_neg()),
+                            UnOp::Not => width.truncate(!a),
+                            UnOp::LogicalNot => u64::from(a == 0),
+                        }
+                    }
+                    SymExpr::Binary { op, width, lhs, .. } => {
+                        let b = values.pop().expect("rhs evaluated");
+                        let a = values.pop().expect("lhs evaluated");
+                        let operand_width = if op.is_comparison() {
+                            lhs.width()
+                        } else {
+                            *width
+                        };
+                        width.truncate(eval_binop(
+                            *op,
+                            operand_width,
+                            operand_width.truncate(a),
+                            operand_width.truncate(b),
+                        ))
+                    }
+                    SymExpr::Cast { kind, width, arg } => {
+                        let a = values.pop().expect("operand evaluated");
+                        let from = arg.width();
+                        match kind {
+                            CastKind::ZeroExt => width.truncate(from.truncate(a)),
+                            CastKind::SignExt => width.truncate(from.sign_extend(a)),
+                            CastKind::Truncate => width.truncate(a),
+                        }
+                    }
+                    _ => unreachable!("leaves are folded on first visit"),
+                };
+                values.push(combined);
             }
         }
-        SymExpr::Binary {
-            op,
-            width,
-            lhs,
-            rhs,
-        } => {
-            let operand_width = if op.is_comparison() {
-                lhs.width()
-            } else {
-                *width
-            };
-            let a = operand_width.truncate(eval(lhs.as_ref(), env));
-            let b = operand_width.truncate(eval(rhs.as_ref(), env));
-            eval_binop(*op, operand_width, a, b)
-        }
-        SymExpr::Cast { kind, width, arg } => {
-            let a = eval(arg.as_ref(), env);
-            let from = arg.width();
-            match kind {
-                CastKind::ZeroExt => width.truncate(from.truncate(a)),
-                CastKind::SignExt => width.truncate(from.sign_extend(a)),
-                CastKind::Truncate => width.truncate(a),
-            }
-        }
-    };
-    width.truncate(raw)
+    }
+    let result = values.pop().expect("root evaluated");
+    debug_assert!(values.is_empty(), "value stack must drain exactly");
+    expr.width().truncate(result)
 }
 
 /// Applies a binary operator to two concrete operands of width `width`.
@@ -229,6 +257,19 @@ mod tests {
     fn sign_extension_then_truncation_round_trips_low_bits() {
         let b = SymExpr::input_byte(0).sext(Width::W32).truncate(Width::W8);
         assert_eq!(eval(&b, &env(&[0x80])), 0x80);
+    }
+
+    #[test]
+    fn deep_chains_evaluate_without_stack_overflow() {
+        // 100k nested adds would overflow a recursive evaluator.
+        let mut e = SymExpr::input_byte(0).zext(Width::W64);
+        for i in 0..100_000u64 {
+            e = e.binop(BinOp::Add, SymExpr::constant(Width::W64, (i % 7) + 1));
+        }
+        // Σ ((i % 7) + 1) over 100k terms: 14285 full cycles summing 28 each,
+        // plus the 5-term tail 1+2+3+4+5, on top of the input byte.
+        let expected = 3 + 14_285 * 28 + 15;
+        assert_eq!(eval(&e, &env(&[3])), expected);
     }
 
     #[test]

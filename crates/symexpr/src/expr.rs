@@ -81,7 +81,9 @@ impl ExprRef {
     /// Within one thread this is 1:1 with [`id`](Self::id); unlike the dense
     /// id it never collides between nodes of *different* threads' arenas, so
     /// memo tables keyed by it stay correct when a handle crosses threads.
-    pub(crate) fn memo_key(&self) -> usize {
+    /// Downstream passes (the solver's bit-blaster, check translation) key
+    /// their per-call memo tables by it for the same reason.
+    pub fn memo_key(&self) -> usize {
         self.node as *const Node as usize
     }
 }

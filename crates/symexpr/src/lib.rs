@@ -44,6 +44,7 @@ pub mod expr;
 pub mod op;
 pub mod rewrite;
 pub mod support;
+pub mod walk;
 pub mod width;
 
 pub use arena::{ExprArena, ExprId};

@@ -270,8 +270,12 @@ fn simplify_cast(kind: CastKind, width: Width, arg: ExprRef, options: SimplifyOp
                 }
                 return simplify_cast(CastKind::ZeroExt, width, *inner, options);
             }
-            // Truncate(Truncate(x)) => Truncate(x)
-            (CastKind::Truncate, CastKind::Truncate) => {
+            // Truncate(Truncate(x)) => Truncate(x) — but only when the outer
+            // truncation is at least as narrow as the inner one.  A *widening*
+            // outer "truncate" (which zero-extends, see `eval`) must keep the
+            // inner node: fusing Shrink(32, Shrink(8, x₁₆)) to Shrink(32, x₁₆)
+            // would resurrect the masked-off high byte.
+            (CastKind::Truncate, CastKind::Truncate) if width <= arg.width() => {
                 return simplify_cast(CastKind::Truncate, width, *inner, options);
             }
             _ => {}
@@ -408,6 +412,19 @@ mod tests {
             .binop(BinOp::LeU, SymExpr::constant(Width::W32, 10));
         let e = cmp.unop(UnOp::LogicalNot).unop(UnOp::LogicalNot);
         assert_eq!(simplify(&e), cmp);
+    }
+
+    #[test]
+    fn widening_truncate_keeps_the_narrower_truncation() {
+        // Found by the solver differential harness: Shrink(32, Shrink(8, x₁₆))
+        // masks to 8 bits and then zero-extends; fusing the two truncations
+        // would resurrect the high byte of x.
+        let x = be16(0, 1);
+        let e = x.truncate(Width::W8).truncate(Width::W32);
+        let s = simplify(&e);
+        let input = vec![0x12u8, 0x34];
+        assert_eq!(eval(&e, &input), 0x34);
+        assert_eq!(eval(&s, &input), 0x34, "simplify changed the value: {s}");
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Iterative bottom-up rebuilding of expression DAGs.
+//!
+//! Several passes share the same traversal skeleton: visit an expression
+//! post-order with an explicit work stack (so 100k-deep loop-carried chains
+//! cannot overflow the call stack), rebuild every composite node from its
+//! already-processed children, memoise per interned node (so shared subtrees
+//! are rebuilt once), and apply a pass-specific transformation.  [`rebuild`]
+//! is that skeleton; `cp_formats::fold_fields` and the translator's
+//! substitution pass are its instantiations.
+
+use crate::expr::{ExprRef, SymExpr};
+use std::collections::HashMap;
+
+/// Rebuilds `root` bottom-up.
+///
+/// For every node, `enter` runs first (on the *original* node, before its
+/// children are visited): returning `Some(replacement)` short-circuits the
+/// node — the replacement is used as-is and the subtree below is never
+/// walked.  Otherwise the node is rebuilt with its processed children and
+/// `exit` maps the rebuilt node to the final result.  Results are memoised
+/// per interned node, so a subtree shared by many parents is processed once.
+pub fn rebuild(
+    root: &ExprRef,
+    mut enter: impl FnMut(&ExprRef) -> Option<ExprRef>,
+    mut exit: impl FnMut(ExprRef) -> ExprRef,
+) -> ExprRef {
+    let mut done: HashMap<usize, ExprRef> = HashMap::new();
+    let mut stack: Vec<(ExprRef, bool)> = vec![(*root, false)];
+    while let Some((e, ready)) = stack.pop() {
+        if done.contains_key(&e.memo_key()) {
+            continue;
+        }
+        if ready {
+            let child = |c: &ExprRef| done[&c.memo_key()];
+            let rebuilt = match e.as_ref() {
+                SymExpr::Unary { op, width, arg } => SymExpr::unary(*op, *width, child(arg)),
+                SymExpr::Binary {
+                    op,
+                    width,
+                    lhs,
+                    rhs,
+                } => SymExpr::binary(*op, *width, child(lhs), child(rhs)),
+                SymExpr::Cast { kind, width, arg } => SymExpr::cast(*kind, *width, child(arg)),
+                _ => unreachable!("leaves are resolved before the ready pass"),
+            };
+            done.insert(e.memo_key(), exit(rebuilt));
+            continue;
+        }
+        if let Some(replacement) = enter(&e) {
+            done.insert(e.memo_key(), replacement);
+            continue;
+        }
+        match e.as_ref() {
+            SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => {
+                done.insert(e.memo_key(), exit(e));
+            }
+            SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => {
+                stack.push((e, true));
+                stack.push((*arg, false));
+            }
+            SymExpr::Binary { lhs, rhs, .. } => {
+                stack.push((e, true));
+                stack.push((*lhs, false));
+                stack.push((*rhs, false));
+            }
+        }
+    }
+    done[&root.memo_key()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ExprBuild;
+    use crate::op::BinOp;
+    use crate::width::Width;
+
+    #[test]
+    fn identity_rebuild_returns_the_same_interned_nodes() {
+        let e = SymExpr::input_byte(0)
+            .zext(Width::W32)
+            .binop(BinOp::Add, SymExpr::constant(Width::W32, 5));
+        let same = rebuild(&e, |_| None, |n| n);
+        assert_eq!(e, same);
+    }
+
+    #[test]
+    fn enter_short_circuits_whole_subtrees() {
+        let a = SymExpr::input_byte(0).zext(Width::W32);
+        let b = SymExpr::input_byte(1).zext(Width::W32);
+        let e = a.binop(BinOp::Add, SymExpr::constant(Width::W32, 1));
+        let swapped = rebuild(&e, |n| (*n == a).then_some(b), |n| n);
+        assert_eq!(
+            swapped,
+            b.binop(BinOp::Add, SymExpr::constant(Width::W32, 1))
+        );
+    }
+
+    #[test]
+    fn exit_sees_every_rebuilt_node_once() {
+        let shared = SymExpr::input_byte(3).zext(Width::W16);
+        let e = shared.binop(BinOp::Add, shared);
+        let mut visits = 0;
+        rebuild(
+            &e,
+            |_| None,
+            |n| {
+                visits += 1;
+                n
+            },
+        );
+        // input byte, zext, add — the shared zext counts once.
+        assert_eq!(visits, 3);
+    }
+
+    #[test]
+    fn deep_chains_rebuild_without_stack_overflow() {
+        let mut e = SymExpr::input_byte(0).zext(Width::W64);
+        for _ in 0..100_000u32 {
+            e = e.binop(BinOp::Add, SymExpr::constant(Width::W64, 1));
+        }
+        let same = rebuild(&e, |_| None, |n| n);
+        assert_eq!(e, same);
+    }
+}
