@@ -1,0 +1,68 @@
+//! Patch-pipeline benchmarks: per-scenario wall time of the full
+//! record→discover→translate→insert→validate sweep, and of the validation
+//! engine alone (apply → recompile → error input → benign corpus), which is
+//! the paper's per-candidate cost.
+
+use cp_bench::harness::{bench, emit_with, section, Measurement};
+use cp_bytecode::compile;
+use cp_corpus::pipeline::run_scenario;
+use cp_lang::frontend;
+use cp_patch::{validate, Baseline};
+use cp_vm::RunConfig;
+
+fn main() {
+    section("patch: full pipeline per scenario");
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut counters: Vec<(String, f64)> = Vec::new();
+
+    for scenario in cp_corpus::scenarios() {
+        let m = bench(&format!("transfer/{}", scenario.name), 2, 10, || {
+            let outcome = run_scenario(&scenario).expect("corpus builds");
+            assert!(outcome.validated(), "{}", scenario.name);
+            outcome
+        });
+        println!("{}", m.report());
+        measurements.push(m);
+    }
+
+    section("patch: validation engine alone");
+    for scenario in cp_corpus::scenarios() {
+        // One full run to obtain the accepted patch, then re-validate it
+        // repeatedly: apply, pretty-print, re-analyze, recompile, run the
+        // error input and the whole benign corpus.
+        let outcome = run_scenario(&scenario)
+            .expect("corpus builds")
+            .result
+            .expect("corpus validates");
+        let analyzed = frontend(scenario.source).expect("recipient builds");
+        let program = compile(&analyzed).expect("recipient compiles");
+        let config = RunConfig::default();
+        let baseline = Baseline::record(
+            &program,
+            scenario.error_input,
+            scenario.benign_corpus,
+            &config,
+        );
+        let m = bench(&format!("validate/{}", scenario.name), 2, 20, || {
+            let report = validate(
+                &analyzed,
+                &baseline,
+                &outcome.patch,
+                scenario.error_input,
+                scenario.benign_corpus,
+                &config,
+            );
+            assert!(report.verdict.is_validated());
+            report
+        });
+        println!("{}", m.report());
+        measurements.push(m);
+        counters.push((
+            format!("attempts/{}", scenario.name),
+            outcome.attempts as f64,
+        ));
+    }
+
+    let counter_refs: Vec<(&str, f64)> = counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    emit_with("patch", &measurements, &counter_refs);
+}

@@ -1,43 +1,34 @@
-//! Figure 8 report skeleton: for each corpus scenario, runs the donor on its
-//! error input through the `cp-core` pipeline and prints the columns the
-//! paper reports — branch sites, input-influenced branches, candidate checks
-//! and check sizes before/after simplification.
+//! Figure 8 report: every corpus scenario through the full pipeline —
+//! record → discover → translate → insert → validate — with the columns the
+//! paper reports: check size before/after simplification, the chosen
+//! insertion point, the patch action, the benign corpus size and the
+//! validation verdict (including the accepted patch itself).
+//!
+//! `--check` exits non-zero unless every scenario validates, which is how
+//! the CI `fig8` job gates regressions in the end-to-end path.
 
-use cp_core::Session;
+use cp_corpus::pipeline::{figure8, run_all};
 
 fn main() {
-    println!(
-        "{:<26} {:>10} {:>8} {:>8} {:>7} {:>9} {:>9}  error",
-        "scenario", "term", "sites", "tainted", "checks", "raw-ops", "simp-ops"
-    );
-    for scenario in cp_corpus::scenarios() {
-        let mut session = Session::builder()
-            .source(scenario.source)
-            .build()
-            .expect("corpus programs compile");
-        let branch_sites = session.program().branch_site_count();
-        let trace = session.record_with_input(scenario.error_input);
-        let checks = trace.checks();
-        let raw_ops: usize = checks.iter().map(|c| c.raw_ops()).sum();
-        let simp_ops: usize = checks.iter().map(|c| c.simplified_ops()).sum();
-        let term = match trace.last_error() {
-            Some(_) => "error",
-            None => "ok",
-        };
-        let error = trace
-            .last_error()
-            .map(|e| e.to_string())
-            .unwrap_or_default();
+    let check = std::env::args().any(|a| a == "--check");
+    let outcomes = run_all();
+    print!("{}", figure8(&outcomes));
+
+    let failed: Vec<&str> = outcomes
+        .iter()
+        .filter(|o| !o.validated())
+        .map(|o| o.scenario.name)
+        .collect();
+    if failed.is_empty() {
+        println!("\nall {} scenarios validated", outcomes.len());
+    } else {
         println!(
-            "{:<26} {:>10} {:>8} {:>8} {:>7} {:>9} {:>9}  {}",
-            scenario.name,
-            term,
-            branch_sites,
-            trace.tainted_branches().len(),
-            checks.len(),
-            raw_ops,
-            simp_ops,
-            error
+            "\n{} scenario(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
         );
+        if check {
+            std::process::exit(1);
+        }
     }
 }

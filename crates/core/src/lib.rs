@@ -40,7 +40,8 @@
 
 use cp_bytecode::{compile, CompileError, CompiledProgram};
 use cp_formats::FormatDescriptor;
-use cp_lang::{frontend, LangError};
+use cp_lang::{frontend, AnalyzedProgram, LangError};
+use cp_patch::Observation;
 use cp_solver::translate::{Candidate, TranslateError, Translation, Translator};
 use cp_symexpr::{rewrite, ExprRef};
 use cp_taint::{
@@ -54,6 +55,10 @@ use cp_vm::{
 use std::fmt;
 use std::sync::OnceLock;
 
+pub use cp_patch::{
+    FailedAttempt, InsertionSite, TransferError, TransferOutcome, TransferSpec, ValidationReport,
+    Verdict,
+};
 pub use cp_solver::translate::{
     Candidate as TranslationCandidate, TranslateError as CheckTranslateError,
     Translation as CheckTranslation,
@@ -265,6 +270,15 @@ impl Trace {
         out
     }
 
+    /// The slices of this trace the patch insertion planner consumes:
+    /// statement boundaries and recorded variable values.
+    pub fn observation(&self) -> Observation<'_> {
+        Observation {
+            stmt_ends: &self.stmt_ends,
+            var_values: &self.var_values,
+        }
+    }
+
     /// Translates a donor check into this trace's (the recipient's)
     /// namespace.
     ///
@@ -363,14 +377,24 @@ impl SessionBuilder {
     /// Returns a [`PipelineError`] if no program was configured or the front
     /// end / compiler rejects the source.
     pub fn build(self) -> Result<Session, PipelineError> {
-        let program = match (self.program, self.source) {
-            (Some(program), _) => program,
-            (None, Some(source)) => compile(&frontend(&source)?)?,
+        let (program, analyzed) = match (self.program, self.source) {
+            (Some(program), _) => (program, None),
+            (None, Some(source)) => {
+                let analyzed = frontend(&source)?;
+                let program = compile(&analyzed)?;
+                (program, Some(analyzed))
+            }
             (None, None) => return Err(PipelineError::MissingProgram),
         };
-        let program = if self.strip { program.strip() } else { program };
+        let (program, analyzed) = if self.strip {
+            // A stripped program has no source-level identity left to patch.
+            (program.strip(), None)
+        } else {
+            (program, analyzed)
+        };
         Ok(Session {
             program,
+            analyzed,
             input: self.input,
             config: self.config,
             observers: self.observers,
@@ -396,6 +420,7 @@ impl SessionBuilder {
 /// [`record_with_input`](Session::record_with_input)).
 pub struct Session {
     program: CompiledProgram,
+    analyzed: Option<AnalyzedProgram>,
     input: Vec<u8>,
     config: RunConfig,
     observers: Vec<Box<dyn Observer>>,
@@ -410,6 +435,43 @@ impl Session {
     /// The compiled program the session runs.
     pub fn program(&self) -> &CompiledProgram {
         &self.program
+    }
+
+    /// The analyzed source program, when the session was built from source
+    /// (and not stripped) — the AST a patch applies to.
+    pub fn analyzed(&self) -> Option<&AnalyzedProgram> {
+        self.analyzed.as_ref()
+    }
+
+    /// Runs the full transfer pipeline: translate the donor check into this
+    /// recipient's namespace, plan insertion points, lower the guard to
+    /// Phage-C and validate candidate patches until one is accepted (paper
+    /// Sections 3.3–3.5).
+    ///
+    /// The recipient is recorded on the spec's error input — everything the
+    /// run observes happened *before* the fault, so every candidate site
+    /// dominates the error and every recorded variable value is live on the
+    /// error path.  `format` folds the donor check's raw byte reads into the
+    /// named fields translation works over.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransferError`] if the session was not built from source,
+    /// translation fails, no insertion site is viable, or every planned
+    /// patch fails validation.
+    pub fn transfer(
+        &mut self,
+        donor: &Check,
+        format: &FormatDescriptor,
+        spec: &TransferSpec<'_>,
+    ) -> Result<TransferOutcome, TransferError> {
+        if self.analyzed.is_none() {
+            return Err(TransferError::MissingSource);
+        }
+        let trace = self.record_with_input(spec.error_input);
+        let analyzed = self.analyzed.as_ref().expect("checked above");
+        let folded = format.fold(&donor.condition());
+        cp_patch::transfer(analyzed, &folded, &trace.observation(), spec)
     }
 
     /// Records one instrumented execution on the configured input.

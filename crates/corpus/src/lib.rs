@@ -22,6 +22,9 @@
 //! [`scenarios`].
 
 use cp_formats::FormatDescriptor;
+use cp_lang::PatchAction;
+
+pub mod pipeline;
 
 /// Which of the paper's error classes a scenario exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +56,14 @@ pub struct Scenario {
     pub error_input: &'static [u8],
     /// An input both programs process successfully.
     pub benign_input: &'static [u8],
+    /// The benign regression corpus validation runs: every input here must
+    /// behave byte-identically before and after the patch (includes
+    /// [`benign_input`](Self::benign_input)).
+    pub benign_corpus: &'static [&'static [u8]],
+    /// What the transferred guard does when it fires: `exit(1)` for most
+    /// scenarios, `return 0` for the paper's Wireshark-style alternate
+    /// strategy.
+    pub patch_action: PatchAction,
     /// The input format's fields as `(path, big-endian byte offsets)` — what
     /// the dissector reports for this input.
     pub fields: &'static [(&'static str, &'static [usize])],
@@ -108,6 +119,12 @@ pub const IMAGE_ALLOC: Scenario = Scenario {
     error_class: ErrorClass::OverflowIntoAllocation,
     error_input: &[0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x04],
     benign_input: &[0x00, 0x10, 0x00, 0x10, 0x00, 0x04],
+    benign_corpus: &[
+        &[0x00, 0x10, 0x00, 0x10, 0x00, 0x04],
+        &[0x00, 0x01, 0x00, 0x02, 0x00, 0x03],
+        &[0x00, 0x40, 0x00, 0x40, 0x00, 0x01],
+    ],
+    patch_action: PatchAction::Exit(1),
     fields: &[
         ("/img/width", &[0, 1]),
         ("/img/height", &[2, 3]),
@@ -150,6 +167,8 @@ pub const PALETTE_OOB: Scenario = Scenario {
     error_class: ErrorClass::OutOfBounds,
     error_input: &[200],
     benign_input: &[7],
+    benign_corpus: &[&[7], &[0], &[15]],
+    patch_action: PatchAction::Exit(1),
     fields: &[("/pal/index", &[0])],
 };
 
@@ -190,7 +209,44 @@ pub const SAMPLE_DIV: Scenario = Scenario {
     error_class: ErrorClass::DivideByZero,
     error_input: &[0],
     benign_input: &[4, 10, 20, 30, 40],
+    benign_corpus: &[&[4, 10, 20, 30, 40], &[1, 9], &[2, 4, 6]],
+    patch_action: PatchAction::Exit(1),
     fields: &[("/snd/count", &[0])],
+};
+
+/// A recipient that scales a frame duration by a header rate; a zero rate
+/// divides by zero.  Unlike [`SAMPLE_DIV`], the donor's guard uses the
+/// paper's alternate repair strategy (Section 4.5, the Wireshark errors):
+/// `return 0` from the processing function instead of exiting, so the
+/// application keeps running productively on malformed frames.  The
+/// transferred patch therefore uses [`PatchAction::ReturnZero`].
+pub const FRAME_RATE_DIV: Scenario = Scenario {
+    name: "frame-rate-div-return0",
+    source: r#"
+        fn main() -> u32 {
+            var rate: u32 = input_byte(0) as u32;
+            var scale: u32 = input_byte(1) as u32;
+            var ms: u32 = 1000 / rate;
+            output((ms * scale) as u64);
+            return 0;
+        }
+    "#,
+    donor_source: r#"
+        fn main() -> u32 {
+            var rate: u32 = input_byte(0) as u32;
+            var scale: u32 = input_byte(1) as u32;
+            if (rate == 0) { return 0; }
+            var ms: u32 = 1000 / rate;
+            output((ms * scale) as u64);
+            return 0;
+        }
+    "#,
+    error_class: ErrorClass::DivideByZero,
+    error_input: &[0, 3],
+    benign_input: &[10, 3],
+    benign_corpus: &[&[10, 3], &[1, 1], &[255, 2]],
+    patch_action: PatchAction::ReturnZero,
+    fields: &[("/frm/rate", &[0]), ("/frm/scale", &[1])],
 };
 
 /// A recipient-shaped program for the image scenario: parses the same header
@@ -206,9 +262,9 @@ pub const IMAGE_RECIPIENT: &str = r#"
     }
 "#;
 
-/// All donor scenarios, one per error class.
-pub fn scenarios() -> [Scenario; 3] {
-    [IMAGE_ALLOC, PALETTE_OOB, SAMPLE_DIV]
+/// All donor scenarios, covering every error class and both patch actions.
+pub fn scenarios() -> [Scenario; 4] {
+    [IMAGE_ALLOC, PALETTE_OOB, SAMPLE_DIV, FRAME_RATE_DIV]
 }
 
 #[cfg(test)]
@@ -244,5 +300,32 @@ mod tests {
             let format = s.format();
             assert_eq!(format.fields.len(), s.fields.len(), "{}", s.name);
         }
+    }
+
+    #[test]
+    fn benign_corpora_include_the_primary_benign_input() {
+        for s in scenarios() {
+            assert!(
+                s.benign_corpus.contains(&s.benign_input),
+                "{}: corpus must include the primary benign input",
+                s.name
+            );
+            assert!(
+                !s.benign_corpus.contains(&s.error_input),
+                "{}: corpus must not include the error input",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn both_patch_actions_are_exercised() {
+        let all = scenarios();
+        assert!(all
+            .iter()
+            .any(|s| matches!(s.patch_action, PatchAction::Exit(_))));
+        assert!(all
+            .iter()
+            .any(|s| s.patch_action == PatchAction::ReturnZero));
     }
 }

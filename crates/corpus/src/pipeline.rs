@@ -1,0 +1,223 @@
+//! The Figure 8 batch pipeline: every corpus scenario through
+//! record → discover → translate → insert → validate.
+//!
+//! The paper's headline evaluation (Figure 8) runs ten donor→recipient
+//! transfer pairs end to end and reports, per pair, the size of the
+//! transferred check and whether the patched recipient validates.  This
+//! module is that harness for the synthetic corpus: [`run_scenario`] drives
+//! one [`Scenario`] through the whole system via `cp_core::Session` and
+//! `cp-patch`, and [`figure8`] renders the outcomes as the report table the
+//! `fig8` binary prints.
+
+use crate::Scenario;
+use cp_core::{Check, PipelineError, Session, TransferOutcome, TransferSpec};
+use cp_vm::Termination;
+
+/// The result of one scenario's end-to-end run.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// How the stripped donor terminated on the error input (its guard must
+    /// intercept: a clean exit or a clean return, never a detected error).
+    pub donor_termination: Termination,
+    /// The error the unpatched recipient trips on, rendered.
+    pub recipient_error: String,
+    /// Op count of the transferred donor check as recorded (Figure 8
+    /// "check size" before simplification), when a check transferred.
+    pub raw_ops: Option<usize>,
+    /// Op count after simplification.
+    pub simplified_ops: Option<usize>,
+    /// The validated transfer, or the last failure rendered.
+    pub result: Result<TransferOutcome, String>,
+}
+
+impl ScenarioOutcome {
+    /// Whether the scenario produced a validated patch.
+    pub fn validated(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// Sweeps one scenario through the full pipeline.
+///
+/// Discovery mirrors the paper: the stripped donor is recorded on the error
+/// input; every candidate check it performed on the input is folded over the
+/// scenario's format descriptor and offered to the transfer engine in
+/// execution order; the first check that yields a *validated* patch wins.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] only when a corpus program fails to build —
+/// transfer failures are reported inside the outcome.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome, PipelineError> {
+    let format = scenario.format();
+
+    let mut donor = Session::builder()
+        .source(scenario.donor_source)
+        .stripped()
+        .build()?;
+    let donor_trace = donor.record_with_input(scenario.error_input);
+
+    let mut recipient = Session::builder().source(scenario.source).build()?;
+    // One instrumented error-input recording serves both the fault report
+    // and the insertion planner for every candidate check — the trace is
+    // check-independent.
+    let crash = recipient.record_with_input(scenario.error_input);
+    let recipient_error = crash
+        .last_error()
+        .map(|e| e.to_string())
+        .unwrap_or_else(|| "ran cleanly".into());
+    let analyzed = recipient.analyzed().expect("built from source");
+
+    let spec = TransferSpec::new(scenario.error_input, scenario.benign_corpus)
+        .with_action(scenario.patch_action);
+
+    let mut last_failure = String::from("donor performed no transferable check");
+    let mut transferred: Option<(&Check, TransferOutcome)> = None;
+    for check in donor_trace.checks() {
+        let folded = format.fold(&check.condition());
+        match cp_patch::transfer(analyzed, &folded, &crash.observation(), &spec) {
+            Ok(outcome) => {
+                transferred = Some((check, outcome));
+                break;
+            }
+            Err(error) => last_failure = error.to_string(),
+        }
+    }
+
+    let (raw_ops, simplified_ops, result) = match transferred {
+        Some((check, outcome)) => (
+            Some(check.raw_ops()),
+            Some(check.simplified_ops()),
+            Ok(outcome),
+        ),
+        None => (None, None, Err(last_failure)),
+    };
+    Ok(ScenarioOutcome {
+        scenario: *scenario,
+        donor_termination: donor_trace.termination,
+        recipient_error,
+        raw_ops,
+        simplified_ops,
+        result,
+    })
+}
+
+/// Runs every corpus scenario through the pipeline.
+///
+/// # Panics
+///
+/// Panics if a corpus program fails to build — the corpus is part of this
+/// workspace and must always compile.
+pub fn run_all() -> Vec<ScenarioOutcome> {
+    crate::scenarios()
+        .iter()
+        .map(|s| run_scenario(s).expect("corpus programs build"))
+        .collect()
+}
+
+/// Renders the outcomes as the Figure 8 report table.
+pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:<10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}  detail\n",
+        "scenario", "class", "raw-ops", "simp-ops", "insertion", "action", "benign", "tries"
+    ));
+    for outcome in outcomes {
+        let class = format!("{:?}", outcome.scenario.error_class);
+        let ops = |v: Option<usize>| v.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
+        match &outcome.result {
+            Ok(transfer) => {
+                let action = match transfer.patch.action {
+                    cp_lang::PatchAction::Exit(_) => "exit",
+                    cp_lang::PatchAction::ReturnZero => "return0",
+                };
+                out.push_str(&format!(
+                    "{:<26} {:<10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}  validated: {}\n",
+                    outcome.scenario.name,
+                    class,
+                    ops(outcome.raw_ops),
+                    ops(outcome.simplified_ops),
+                    transfer.site.to_string(),
+                    action,
+                    transfer.report.benign.len(),
+                    transfer.attempts,
+                    transfer.patch.render(),
+                ));
+            }
+            Err(failure) => {
+                out.push_str(&format!(
+                    "{:<26} {:<10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}  FAILED: {}\n",
+                    outcome.scenario.name,
+                    class,
+                    ops(outcome.raw_ops),
+                    ops(outcome.simplified_ops),
+                    "-",
+                    "-",
+                    0,
+                    0,
+                    failure,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_full_corpus_validates_end_to_end() {
+        let outcomes = run_all();
+        assert_eq!(outcomes.len(), crate::scenarios().len());
+        for outcome in &outcomes {
+            // The donor's own guard intercepted the error input…
+            assert!(
+                outcome.donor_termination.error().is_none(),
+                "{}: donor faulted: {:?}",
+                outcome.scenario.name,
+                outcome.donor_termination
+            );
+            // …the unpatched recipient faulted…
+            assert_ne!(
+                outcome.recipient_error, "ran cleanly",
+                "{}: recipient must fault",
+                outcome.scenario.name
+            );
+            // …and the transferred patch validated.
+            let transfer = outcome
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}: {e}", outcome.scenario.name));
+            assert!(transfer.report.verdict.is_validated());
+            assert_eq!(
+                transfer.report.benign.len(),
+                outcome.scenario.benign_corpus.len(),
+                "{}: every benign input must be revalidated",
+                outcome.scenario.name
+            );
+            assert!(transfer.report.benign.iter().all(|b| b.identical()));
+            assert_eq!(transfer.patch.action, outcome.scenario.patch_action);
+            assert!(outcome.raw_ops.unwrap() >= outcome.simplified_ops.unwrap());
+        }
+    }
+
+    #[test]
+    fn figure8_reports_every_scenario_as_validated() {
+        let outcomes = run_all();
+        let table = figure8(&outcomes);
+        for scenario in crate::scenarios() {
+            assert!(table.contains(scenario.name), "{table}");
+        }
+        assert_eq!(
+            table.matches("validated:").count(),
+            crate::scenarios().len(),
+            "{table}"
+        );
+        assert!(!table.contains("FAILED"), "{table}");
+        assert!(table.contains("return0"), "{table}");
+    }
+}

@@ -1,0 +1,273 @@
+//! The end-to-end transfer engine: translate → insert → lower → validate.
+//!
+//! [`transfer`] is the closing of Code Phage's loop.  Given a folded donor
+//! condition, the recipient's analyzed source and one instrumented run on
+//! the **error input** (so every observed site dominates the fault),
+//! it translates every donor field onto the recipient's variables
+//! (keeping *all* proved alternatives), plans insertion points where the
+//! bound variables are live with their proved values, lowers the condition
+//! to Phage-C source over those variables, and validates each planned patch
+//! behaviorally until one is accepted.  Plans are tried earliest-site-first;
+//! validation is the arbiter, so a heuristically attractive site that turns
+//! out not to dominate the error simply fails and the next plan runs.
+
+use crate::insert::{plan, ChosenBinding, InsertionSite, Observation, PlannedPatch, VarTable};
+use crate::lower::{lower_guard, LowerError, VarRef};
+use crate::validate::{validate, Baseline, ValidationReport, Verdict};
+use cp_bytecode::compile;
+use cp_lang::{AnalyzedProgram, Patch, PatchAction};
+use cp_solver::translate::{TranslateError, TranslateStats, Translator};
+use cp_symexpr::ExprRef;
+use cp_vm::RunConfig;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What to transfer and how to judge the result.
+#[derive(Debug, Clone)]
+pub struct TransferSpec<'a> {
+    /// The patch body when the guard fires.
+    pub action: PatchAction,
+    /// The input that drives the unpatched recipient into the error.
+    pub error_input: &'a [u8],
+    /// Benign inputs whose behavior the patch must leave byte-identical.
+    pub benign_corpus: &'a [&'a [u8]],
+    /// Maximum insertion plans to validate before giving up.
+    pub max_attempts: usize,
+    /// Execution limits for validation runs.
+    pub config: RunConfig,
+}
+
+impl<'a> TransferSpec<'a> {
+    /// A spec with the default exit action, attempt budget and run limits.
+    pub fn new(error_input: &'a [u8], benign_corpus: &'a [&'a [u8]]) -> Self {
+        TransferSpec {
+            action: PatchAction::Exit(1),
+            error_input,
+            benign_corpus,
+            max_attempts: 16,
+            config: RunConfig::default(),
+        }
+    }
+
+    /// Uses the paper's alternate `return 0` strategy instead of exiting.
+    pub fn with_action(mut self, action: PatchAction) -> Self {
+        self.action = action;
+        self
+    }
+}
+
+/// A rejected insertion plan, kept for diagnostics.
+#[derive(Debug, Clone)]
+pub struct FailedAttempt {
+    /// Where the patch was tried.
+    pub site: InsertionSite,
+    /// Why validation rejected it.
+    pub verdict: Verdict,
+}
+
+/// Why a transfer produced no validated patch.
+#[derive(Debug, Clone)]
+pub enum TransferError {
+    /// The recipient has no source-level program to patch (built from an
+    /// already-compiled or stripped binary).
+    MissingSource,
+    /// The donor condition could not be translated into the recipient's
+    /// namespace at all.
+    Translate(TranslateError),
+    /// Translation succeeded but no insertion site has every bound variable
+    /// available.
+    NoViableSite {
+        /// Solver effort spent on the translation.
+        stats: TranslateStats,
+    },
+    /// A guard could not be rendered as Phage-C source.
+    Lower(LowerError),
+    /// Every planned patch failed validation.
+    AllPlansFailed {
+        /// The rejected attempts, in the order tried.
+        attempts: Vec<FailedAttempt>,
+    },
+}
+
+impl fmt::Display for TransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferError::MissingSource => {
+                write!(f, "recipient has no source-level program to patch")
+            }
+            TransferError::Translate(e) => write!(f, "translation failed: {e}"),
+            TransferError::NoViableSite { stats } => write!(
+                f,
+                "no insertion site has all bound variables available \
+                 ({} fields, {} proved bindings)",
+                stats.fields, stats.proved
+            ),
+            TransferError::Lower(e) => write!(f, "guard lowering failed: {e}"),
+            TransferError::AllPlansFailed { attempts } => {
+                write!(
+                    f,
+                    "all {} planned patches failed validation",
+                    attempts.len()
+                )?;
+                if let Some(last) = attempts.last() {
+                    write!(f, " (last: {} at {})", last.verdict, last.site)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+impl From<TranslateError> for TransferError {
+    fn from(e: TranslateError) -> Self {
+        TransferError::Translate(e)
+    }
+}
+
+impl From<LowerError> for TransferError {
+    fn from(e: LowerError) -> Self {
+        TransferError::Lower(e)
+    }
+}
+
+/// A validated transfer: the accepted patch and the evidence for it.
+#[derive(Debug, Clone)]
+pub struct TransferOutcome {
+    /// The accepted source-level patch.
+    pub patch: Patch,
+    /// Where it was inserted.
+    pub site: InsertionSite,
+    /// The variable chosen for each donor field.
+    pub bindings: Vec<ChosenBinding>,
+    /// The accepting validation report.
+    pub report: ValidationReport,
+    /// Solver effort spent translating.
+    pub stats: TranslateStats,
+    /// Validation attempts spent, including the accepted one.
+    pub attempts: usize,
+    /// Plans rejected before the accepted one.
+    pub rejected: Vec<FailedAttempt>,
+}
+
+impl TransferOutcome {
+    /// The guard text of the accepted patch.
+    pub fn guard(&self) -> &str {
+        &self.patch.guard
+    }
+}
+
+/// Runs the full transfer pipeline for one folded donor condition.
+///
+/// `donor_condition` must be fully folded over a format descriptor (tainted
+/// leaves are named fields).  `observation` should come from recording the
+/// recipient on the **error input**: the planner assumes every observed
+/// statement boundary dominates the fault and that the recorded variable
+/// values are the ones live on the error path (`cp_core::Session::transfer`
+/// records exactly this).  A benign-run observation degrades gracefully —
+/// badly placed plans fail validation — but wastes attempts on sites the
+/// error path never reaches.  Returns the first plan that validates.
+///
+/// # Errors
+///
+/// Returns a [`TransferError`] describing the first stage that exhausted its
+/// options; validation rejections of individual plans are collected, not
+/// fatal, until every plan has been tried.
+pub fn transfer(
+    recipient: &AnalyzedProgram,
+    donor_condition: &ExprRef,
+    observation: &Observation<'_>,
+    spec: &TransferSpec<'_>,
+) -> Result<TransferOutcome, TransferError> {
+    let fn_names: Vec<Option<String>> = recipient
+        .program
+        .functions
+        .iter()
+        .map(|f| Some(f.name.clone()))
+        .collect();
+    let table = VarTable::from_observation(observation.var_values, &recipient.debug, &fn_names);
+    let translation = Translator::default().translate_all(donor_condition, &table.candidates)?;
+
+    let plans = plan(
+        &translation,
+        &table,
+        observation,
+        &fn_names,
+        spec.max_attempts,
+    );
+    if plans.is_empty() {
+        return Err(TransferError::NoViableSite {
+            stats: translation.stats,
+        });
+    }
+
+    // The unpatched baseline compiles and runs once; its behavior on the
+    // error input and the benign corpus is identical across attempts.
+    let baseline_program = compile(recipient).map_err(|e| {
+        // An analyzed program that stops compiling is a pipeline invariant
+        // violation, but surface it as a failed plan set rather than panic.
+        TransferError::AllPlansFailed {
+            attempts: vec![FailedAttempt {
+                site: plans[0].site.clone(),
+                verdict: Verdict::RecompileFailed {
+                    error: e.to_string(),
+                },
+            }],
+        }
+    })?;
+    let baseline = Baseline::record(
+        &baseline_program,
+        spec.error_input,
+        spec.benign_corpus,
+        &spec.config,
+    );
+
+    let mut rejected = Vec::new();
+    for planned in plans {
+        let PlannedPatch { site, bindings } = planned;
+        let vars: HashMap<String, VarRef> = bindings
+            .iter()
+            .map(|b| {
+                (
+                    b.path.clone(),
+                    VarRef {
+                        name: b.var_name.clone(),
+                        ty: b.var_ty.clone(),
+                    },
+                )
+            })
+            .collect();
+        let guard = lower_guard(donor_condition, &vars)?;
+        let patch = Patch {
+            function: site.function_name.clone(),
+            after_stmt: site.stmt,
+            guard,
+            action: spec.action,
+        };
+        let report = validate(
+            recipient,
+            &baseline,
+            &patch,
+            spec.error_input,
+            spec.benign_corpus,
+            &spec.config,
+        );
+        if report.verdict.is_validated() {
+            return Ok(TransferOutcome {
+                patch,
+                site,
+                bindings,
+                report,
+                stats: translation.stats,
+                attempts: rejected.len() + 1,
+                rejected,
+            });
+        }
+        rejected.push(FailedAttempt {
+            site,
+            verdict: report.verdict,
+        });
+    }
+    Err(TransferError::AllPlansFailed { attempts: rejected })
+}

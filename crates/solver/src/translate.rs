@@ -55,6 +55,10 @@ pub struct Binding {
     pub replacement: ExprRef,
     /// Label of the candidate the replacement came from.
     pub source: String,
+    /// Index of that candidate in the caller's candidate slice, so downstream
+    /// passes (insertion-point scoring in `cp-patch`) can recover the
+    /// candidate's provenance without parsing the label.
+    pub candidate: usize,
 }
 
 /// Counters describing how a translation spent its effort — the paper's
@@ -86,6 +90,74 @@ pub struct Translation {
     pub bindings: Vec<Binding>,
     /// Solver-effort counters.
     pub stats: TranslateStats,
+}
+
+/// Every Proved binding discovered for one donor field, simplest replacement
+/// first.
+///
+/// Where [`Translator::translate`] commits to the first proof it finds,
+/// [`Translator::translate_all`] keeps the whole proved set so a downstream
+/// pass can pick the binding that is actually *available* at a patch
+/// insertion point (the paper's insertion-point constraint, Section 3.4).
+#[derive(Debug, Clone)]
+pub struct FieldAlternatives {
+    /// The donor field's hierarchical path.
+    pub path: String,
+    /// The donor field's width.
+    pub width: Width,
+    /// The interned field leaf (substitution key).
+    pub leaf: ExprRef,
+    /// All candidates proved equivalent to the field, by ascending
+    /// replacement size.
+    pub proved: Vec<Binding>,
+}
+
+/// A donor check with the full set of proved bindings per field.
+#[derive(Debug, Clone)]
+pub struct MultiTranslation {
+    /// The folded donor condition the fields were collected from.
+    pub condition: ExprRef,
+    /// Per-field proved alternatives, in the condition's left-to-right field
+    /// order.
+    pub fields: Vec<FieldAlternatives>,
+    /// Solver-effort counters (all pairs are solved, not just until the
+    /// first proof).
+    pub stats: TranslateStats,
+}
+
+impl MultiTranslation {
+    /// Substitutes one chosen binding per field (`choice[i]` indexes
+    /// `fields[i].proved`) into the donor condition and simplifies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choice` is shorter than `fields` or any index is out of
+    /// range.
+    pub fn condition_with(&self, choice: &[usize]) -> ExprRef {
+        let map: HashMap<usize, ExprRef> = self
+            .fields
+            .iter()
+            .zip(choice)
+            .map(|(field, &pick)| (field.leaf.memo_key(), field.proved[pick].replacement))
+            .collect();
+        simplify(&substitute(&self.condition, &map))
+    }
+
+    /// The translation that commits to the simplest proved binding of every
+    /// field — what [`Translator::translate`] would have produced had it
+    /// solved all pairs.
+    pub fn first(&self) -> Translation {
+        let choice = vec![0; self.fields.len()];
+        Translation {
+            condition: self.condition_with(&choice),
+            bindings: self
+                .fields
+                .iter()
+                .map(|field| field.proved[0].clone())
+                .collect(),
+            stats: self.stats,
+        }
+    }
 }
 
 /// Why a donor check could not be translated.
@@ -160,8 +232,7 @@ impl Translator {
 
         // Simplest replacements first: a bare variable read beats a
         // recomposed branch operand of the same value.
-        let mut ordered: Vec<&Candidate> = candidates.iter().collect();
-        ordered.sort_by_key(|c| c.expr.op_count());
+        let ordered = by_ascending_size(candidates);
 
         let mut stats = TranslateStats {
             fields: fields.len(),
@@ -170,12 +241,9 @@ impl Translator {
         let mut bindings = Vec::with_capacity(fields.len());
         let mut map: HashMap<usize, ExprRef> = HashMap::new();
         for field in &fields {
-            let (path, width) = match field.as_ref() {
-                SymExpr::Field { path, width, .. } => (path.clone(), *width),
-                _ => unreachable!("collect_leaves only returns field leaves"),
-            };
+            let (path, width) = field_parts(field);
             let mut bound = None;
-            for candidate in &ordered {
+            for &(index, candidate) in &ordered {
                 stats.pairs += 1;
                 if disjoint_support(field, &candidate.expr) {
                     stats.pruned_disjoint += 1;
@@ -185,32 +253,18 @@ impl Translator {
                 match self.solver.equivalent(field, &candidate.expr) {
                     Equivalence::Proved => {
                         stats.proved += 1;
-                        bound = Some((*candidate).clone());
+                        bound = Some(make_binding(&path, width, index, candidate));
                         break;
                     }
                     Equivalence::Refuted { .. } => stats.refuted += 1,
                     Equivalence::Unknown => stats.unknown += 1,
                 }
             }
-            let Some(candidate) = bound else {
+            let Some(binding) = bound else {
                 return Err(TranslateError::Unmatched { path, stats });
             };
-            // The solver proved value equality as u64s; adjust the
-            // replacement's width so the donor condition still type-checks
-            // around it (value-preserving both ways, since the common value
-            // fits the field's width).
-            let replacement = if candidate.expr.width() > width {
-                candidate.expr.truncate(width)
-            } else {
-                candidate.expr.zext(width)
-            };
-            map.insert(field.memo_key(), replacement);
-            bindings.push(Binding {
-                path,
-                width,
-                replacement,
-                source: candidate.label,
-            });
+            map.insert(field.memo_key(), binding.replacement);
+            bindings.push(binding);
         }
 
         let condition = simplify(&substitute(condition, &map));
@@ -219,6 +273,108 @@ impl Translator {
             bindings,
             stats,
         })
+    }
+
+    /// Like [`translate`](Self::translate), but keeps **every** proved
+    /// candidate per field instead of committing to the first.
+    ///
+    /// This is the entry point for patch insertion: a field may be provably
+    /// equal to several recipient variables, and only some of them are in
+    /// scope (with the proved value) at a viable insertion point, so the
+    /// choice among proofs belongs to the insertion-point planner, not the
+    /// translator.  Costs more solver calls than `translate` since every
+    /// surviving pair is decided.
+    ///
+    /// # Errors
+    ///
+    /// Same failure conditions as [`translate`](Self::translate): unfolded
+    /// raw bytes, or a field with no proved candidate at all.
+    pub fn translate_all(
+        &self,
+        condition: &ExprRef,
+        candidates: &[Candidate],
+    ) -> Result<MultiTranslation, TranslateError> {
+        let (fields, raw_bytes) = collect_leaves(condition);
+        if !raw_bytes.is_empty() {
+            return Err(TranslateError::UnfoldedBytes { offsets: raw_bytes });
+        }
+
+        let ordered = by_ascending_size(candidates);
+        let mut stats = TranslateStats {
+            fields: fields.len(),
+            ..TranslateStats::default()
+        };
+        let mut out = Vec::with_capacity(fields.len());
+        for field in &fields {
+            let (path, width) = field_parts(field);
+            let mut proved = Vec::new();
+            for &(index, candidate) in &ordered {
+                stats.pairs += 1;
+                if disjoint_support(field, &candidate.expr) {
+                    stats.pruned_disjoint += 1;
+                    continue;
+                }
+                stats.solver_calls += 1;
+                match self.solver.equivalent(field, &candidate.expr) {
+                    Equivalence::Proved => {
+                        stats.proved += 1;
+                        proved.push(make_binding(&path, width, index, candidate));
+                    }
+                    Equivalence::Refuted { .. } => stats.refuted += 1,
+                    Equivalence::Unknown => stats.unknown += 1,
+                }
+            }
+            if proved.is_empty() {
+                return Err(TranslateError::Unmatched { path, stats });
+            }
+            out.push(FieldAlternatives {
+                path,
+                width,
+                leaf: *field,
+                proved,
+            });
+        }
+        Ok(MultiTranslation {
+            condition: *condition,
+            fields: out,
+            stats,
+        })
+    }
+}
+
+/// Candidates paired with their original index, smallest expression first.
+fn by_ascending_size(candidates: &[Candidate]) -> Vec<(usize, &Candidate)> {
+    let mut ordered: Vec<(usize, &Candidate)> = candidates.iter().enumerate().collect();
+    ordered.sort_by_key(|(_, c)| c.expr.op_count());
+    ordered
+}
+
+/// The path and width of a field leaf.
+fn field_parts(field: &ExprRef) -> (String, Width) {
+    match field.as_ref() {
+        SymExpr::Field { path, width, .. } => (path.clone(), *width),
+        _ => unreachable!("collect_leaves only returns field leaves"),
+    }
+}
+
+/// Builds a binding whose replacement is the candidate expression
+/// width-adjusted to the field's width.
+///
+/// The solver proved value equality as u64s; adjusting the width keeps the
+/// donor condition type-correct around the replacement (value-preserving both
+/// ways, since the common value fits the field's width).
+fn make_binding(path: &str, width: Width, index: usize, candidate: &Candidate) -> Binding {
+    let replacement = if candidate.expr.width() > width {
+        candidate.expr.truncate(width)
+    } else {
+        candidate.expr.zext(width)
+    };
+    Binding {
+        path: path.to_string(),
+        width,
+        replacement,
+        source: candidate.label.clone(),
+        candidate: index,
     }
 }
 
@@ -357,6 +513,57 @@ mod tests {
         let t = Translator::default().translate(&check, &[]).expect("ok");
         assert!(t.bindings.is_empty());
         assert_eq!(t.condition.as_const(), Some(1));
+    }
+
+    #[test]
+    fn translate_all_keeps_every_proved_candidate() {
+        let clean = be16(0, 1);
+        let clunky = clean
+            .binop(BinOp::Add, SymExpr::constant(Width::W16, 7))
+            .binop(BinOp::Sub, SymExpr::constant(Width::W16, 7));
+        let candidates = vec![
+            Candidate::new("var clunky", clunky),
+            Candidate::new("var clean", clean),
+            Candidate::new("var unrelated", be16(6, 7)),
+        ];
+        let width = SymExpr::field("/hdr/width", Width::W16, vec![0, 1]);
+        let check = width.binop(BinOp::LeU, SymExpr::constant(Width::W16, 3));
+        let multi = Translator::default()
+            .translate_all(&check, &candidates)
+            .expect("translates");
+        assert_eq!(multi.fields.len(), 1);
+        let alts = &multi.fields[0];
+        assert_eq!(alts.path, "/hdr/width");
+        // Both equivalent candidates are kept, simplest first, with their
+        // original candidate indices preserved.
+        assert_eq!(alts.proved.len(), 2);
+        assert_eq!(alts.proved[0].source, "var clean");
+        assert_eq!(alts.proved[0].candidate, 1);
+        assert_eq!(alts.proved[1].source, "var clunky");
+        assert_eq!(alts.proved[1].candidate, 0);
+        // Every choice yields a condition that decides identically.
+        let c0 = multi.condition_with(&[0]);
+        let c1 = multi.condition_with(&[1]);
+        for input in [[0u8, 2], [0, 3], [0, 4], [0xFF, 0xFF]] {
+            assert_eq!(eval(&c0, &input[..]), eval(&c1, &input[..]));
+        }
+        // `first()` agrees with the early-exit translator.
+        let single = Translator::default()
+            .translate(&check, &candidates)
+            .expect("translates");
+        assert_eq!(multi.first().condition, single.condition);
+        assert_eq!(multi.first().bindings[0].source, single.bindings[0].source);
+    }
+
+    #[test]
+    fn translate_all_fails_when_a_field_has_no_proof() {
+        let candidates = vec![Candidate::new("var h", be16(2, 3))];
+        let width = SymExpr::field("/hdr/width", Width::W16, vec![0, 1]);
+        let check = width.binop(BinOp::LeU, SymExpr::constant(Width::W16, 100));
+        assert!(matches!(
+            Translator::default().translate_all(&check, &candidates),
+            Err(TranslateError::Unmatched { .. })
+        ));
     }
 
     #[test]

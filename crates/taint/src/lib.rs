@@ -171,6 +171,10 @@ impl Observer for TraceRecorder {
 pub struct VarValueRecord {
     /// Function index of the statement.
     pub function: usize,
+    /// Invocation id of the executing frame — distinguishes the value
+    /// timelines of separate calls (and lets consumers reason per call
+    /// rather than conflating every execution of a statement site).
+    pub invocation: u64,
     /// Statement (program point) id after which the value was observed.
     pub stmt: usize,
     /// Source-level variable name (from debug info).
@@ -262,6 +266,7 @@ impl Observer for ScopeRecorder {
             if self.seen.insert((event.function, var.frame_offset, expr)) {
                 self.var_values.push(VarValueRecord {
                     function: event.function,
+                    invocation: event.invocation,
                     stmt: event.stmt,
                     name: var.name.clone(),
                     width,
