@@ -1,0 +1,122 @@
+//! Bench-regression gate: diffs a fresh (quick-mode) bench run against the
+//! checked-in `BENCH.json` baseline and fails on large p50 regressions in
+//! the gated pipeline stages.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-compare --fresh <fresh.json> [--baseline BENCH.json] [--threshold 3.0]
+//! ```
+//!
+//! Only the stages whose wall time the roadmap tracks are gated —
+//! **record** (`long_trace/record*`), **translate** (`translate/*`) and
+//! **transfer** (`transfer/*`) — and only on the median (p50): the fresh run
+//! comes from `CP_BENCH_QUICK=1` (one warmup, two iterations), so means and
+//! tails are noise while a >3x median blowup reliably indicates a real
+//! regression.  Cases present in only one document are reported but never
+//! fail the gate (a renamed bench should not mask a regression elsewhere).
+
+use cp_bench::json::{parse, Value};
+
+/// A gated case: `(bench section, case-name prefix)`.
+const GATED: &[(&str, &str)] = &[
+    ("long_trace", "long_trace/record"),
+    ("translate", "translate/"),
+    ("patch", "transfer/"),
+];
+
+fn median_cases(doc: &Value, section: &str, prefix: &str) -> Vec<(String, f64)> {
+    let Some(Value::Object(entries)) = doc.get(section) else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter(|(name, _)| name.starts_with(prefix))
+        .filter_map(|(name, case)| {
+            case.get("median_ns")
+                .and_then(Value::as_number)
+                .map(|p50| (name.clone(), p50))
+        })
+        .collect()
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench-compare: cannot read {path}: {e}"));
+    parse(&text).unwrap_or_else(|| panic!("bench-compare: {path} is not valid JSON"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fresh_path = None;
+    let mut baseline_path = "BENCH.json".to_string();
+    let mut threshold = 3.0f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fresh" => fresh_path = iter.next().cloned(),
+            "--baseline" => baseline_path = iter.next().cloned().expect("--baseline needs a path"),
+            "--threshold" => {
+                threshold = iter
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .expect("--threshold needs a number")
+            }
+            other => panic!("bench-compare: unknown argument {other}"),
+        }
+    }
+    let fresh_path = fresh_path.expect("bench-compare: --fresh <fresh.json> is required");
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for &(section, prefix) in GATED {
+        let base_cases = median_cases(&baseline, section, prefix);
+        let fresh_cases = median_cases(&fresh, section, prefix);
+        for (name, _) in &fresh_cases {
+            if !base_cases.iter().any(|(n, _)| n == name) {
+                // A brand-new bench before its baseline lands: visible in
+                // the log, gated once BENCH.json is refreshed.
+                println!("missing in baseline (not gated): {name} [{section}]");
+            }
+        }
+        for (name, base_p50) in &base_cases {
+            let Some((_, fresh_p50)) = fresh_cases.iter().find(|(n, _)| n == name) else {
+                println!("missing in fresh run (not gated): {name} [{section}]");
+                continue;
+            };
+            compared += 1;
+            let ratio = if *base_p50 > 0.0 {
+                fresh_p50 / base_p50
+            } else {
+                1.0
+            };
+            let verdict = if ratio > threshold { "REGRESSED" } else { "ok" };
+            println!(
+                "{section:<12} {name:<40} baseline p50 {base_p50:>12.0} ns   fresh p50 {fresh_p50:>12.0} ns   {ratio:>6.2}x  {verdict}"
+            );
+            if ratio > threshold {
+                regressions.push(format!("{section}/{name} ({ratio:.2}x)"));
+            }
+        }
+    }
+
+    if compared == 0 {
+        // An empty comparison would pass forever; that is itself a harness
+        // regression worth failing on.
+        eprintln!("bench-compare: no gated cases found in both documents");
+        std::process::exit(1);
+    }
+    if regressions.is_empty() {
+        println!("\n{compared} gated case(s) within {threshold}x of the baseline p50");
+    } else {
+        eprintln!(
+            "\n{} p50 regression(s) beyond {threshold}x: {}",
+            regressions.len(),
+            regressions.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

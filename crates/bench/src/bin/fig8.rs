@@ -1,24 +1,71 @@
 //! Figure 8 report: every corpus scenario through the full pipeline —
 //! record → discover → translate → insert → validate — with the columns the
-//! paper reports: check size before/after simplification, the chosen
-//! insertion point, the patch action, the benign corpus size and the
-//! validation verdict (including the accepted patch itself).
+//! paper reports: how the error input was discovered (generations and
+//! executions of the goal-directed search), check size before/after
+//! simplification, the chosen insertion point, the patch action, the benign
+//! corpus size and the validation verdict (including the accepted patch
+//! itself).
 //!
 //! `--check` exits non-zero unless every scenario validates, which is how
-//! the CI `fig8` job gates regressions in the end-to-end path.
+//! the CI `fig8` job gates regressions in the end-to-end path.  `--discover`
+//! additionally requires every overflow-into-allocation scenario to have
+//! *derived* its error input via the solver-driven generator (and prints the
+//! derived inputs), which is how the CI `discover` job gates the input
+//! generation stage.
 
 use cp_corpus::pipeline::{figure8, run_all};
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
+    let discover = std::env::args().any(|a| a == "--discover");
     let outcomes = run_all();
     print!("{}", figure8(&outcomes));
 
-    let failed: Vec<&str> = outcomes
+    let mut failed: Vec<String> = outcomes
         .iter()
         .filter(|o| !o.validated())
-        .map(|o| o.scenario.name)
+        .map(|o| o.scenario.name.to_string())
         .collect();
+
+    if discover {
+        println!();
+        let mut discovered = 0usize;
+        let mut regressed = 0usize;
+        for outcome in outcomes.iter().filter(|o| o.discoverable()) {
+            match &outcome.discovery {
+                Some(found) => {
+                    discovered += 1;
+                    let hex: Vec<String> = found.input.iter().map(|b| format!("{b:02x}")).collect();
+                    println!(
+                        "{}: discovered [{}] in {} generation(s), {} execution(s), {} solver quer{}",
+                        outcome.scenario.name,
+                        hex.join(" "),
+                        found.generations,
+                        found.executions,
+                        found.solver_queries,
+                        if found.solver_queries == 1 { "y" } else { "ies" },
+                    );
+                }
+                None => {
+                    // Already counted via the !validated() filter above —
+                    // a scenario whose discovery fails never validates.
+                    regressed += 1;
+                    println!(
+                        "{}: error input NOT discovered — generator regressed",
+                        outcome.scenario.name
+                    );
+                }
+            }
+        }
+        // Coverage only fails on its own when no per-scenario regression
+        // explains it: the corpus itself lost its discoverable scenarios.
+        if discovered < 2 && regressed == 0 {
+            failed.push(format!(
+                "discovery coverage ({discovered} scenario(s) derived an input, need >= 2)"
+            ));
+        }
+    }
+
     if failed.is_empty() {
         println!("\nall {} scenarios validated", outcomes.len());
     } else {

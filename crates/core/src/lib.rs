@@ -55,6 +55,9 @@ use cp_vm::{
 use std::fmt;
 use std::sync::OnceLock;
 
+pub use cp_diode::{
+    DiscoverConfig, DiscoverOutcome, DiscoverReport, Discovery, PathConstraint, TargetSite,
+};
 pub use cp_patch::{
     FailedAttempt, InsertionSite, TransferError, TransferOutcome, TransferSpec, ValidationReport,
     Verdict,
@@ -270,6 +273,29 @@ impl Trace {
         out
     }
 
+    /// The executed path as solver constraints: every tainted branch's
+    /// condition asserted in its observed direction, in execution order.
+    ///
+    /// Untainted branches are input-independent and constrain nothing, so
+    /// they do not appear.  Together with
+    /// [`path_to_alloc`](Trace::path_to_alloc) this is the material
+    /// goal-directed discovery conjoins with an overflow goal.
+    pub fn path_constraints(&self) -> Vec<PathConstraint> {
+        PathConstraint::from_branches(&self.branches)
+    }
+
+    /// The path constraints accumulated before the `alloc_index`-th recorded
+    /// allocation — the branch decisions a generated input must reproduce to
+    /// reach that site.
+    pub fn path_to_alloc(&self, alloc_index: usize) -> Vec<PathConstraint> {
+        let upto = self
+            .allocs
+            .get(alloc_index)
+            .map(|a| a.branches_before.min(self.branches.len()))
+            .unwrap_or(0);
+        PathConstraint::from_branches(&self.branches[..upto])
+    }
+
     /// The slices of this trace the patch insertion planner consumes:
     /// statement boundaries and recorded variable values.
     pub fn observation(&self) -> Observation<'_> {
@@ -474,6 +500,31 @@ impl Session {
         cp_patch::transfer(analyzed, &folded, &trace.observation(), spec)
     }
 
+    /// Goal-directed error discovery (the paper's DIODE companion tool):
+    /// starting from `benign`, generates an input that trips the VM's
+    /// overflow-into-allocation detector.
+    ///
+    /// Each frontier input is recorded through the full instrumented
+    /// pipeline; the trace's input-tainted allocation sites are ranked
+    /// most-arithmetic-first, each site's symbolic overflow goal is
+    /// conjoined with the path constraints to the site and handed to the
+    /// `cp-solver` satisfiability engine, and every extracted model is
+    /// validated by re-execution — [`DiscoverOutcome::Found`] only ever
+    /// carries an input whose run actually ended in
+    /// `VmError::OverflowIntoAllocation`.  When a straight-line goal is
+    /// unsatisfiable the search flips one path constraint at a time (a
+    /// bounded generational search; see [`cp_diode::discover`]).
+    pub fn discover(&mut self, benign: &[u8], config: &DiscoverConfig) -> DiscoverOutcome {
+        cp_diode::discover(benign, config, |input| {
+            let trace = self.record_with_input(input);
+            cp_diode::ObservedRun {
+                error: trace.last_error().cloned(),
+                branches: trace.branches,
+                allocs: trace.allocs,
+            }
+        })
+    }
+
     /// Records one instrumented execution on the configured input.
     pub fn record(&mut self) -> Trace {
         let input = std::mem::take(&mut self.input);
@@ -671,6 +722,56 @@ mod tests {
             .unwrap();
         assert_eq!(count.get(), trace.branches.len());
         assert_eq!(count.get(), 5);
+    }
+
+    #[test]
+    fn discover_generates_a_validated_overflow_input() {
+        let mut session = Session::builder()
+            .source(
+                r#"
+                fn main() -> u32 {
+                    var w: u32 = ((input_byte(0) as u32) << 8) | (input_byte(1) as u32);
+                    var h: u32 = ((input_byte(2) as u32) << 8) | (input_byte(3) as u32);
+                    var size: u32 = (w * h) * 4;
+                    var p: u64 = malloc(size as u64);
+                    return 0;
+                }
+                "#,
+            )
+            .build()
+            .unwrap();
+        let benign = [0u8, 16, 0, 16];
+        let outcome = session.discover(&benign, &DiscoverConfig::default());
+        let found = outcome.found().expect("overflow must be discoverable");
+        assert_ne!(found.input, benign.to_vec());
+        let trace = session.record_with_input(&found.input);
+        assert!(matches!(
+            trace.last_error(),
+            Some(VmError::OverflowIntoAllocation { .. })
+        ));
+    }
+
+    #[test]
+    fn path_accessors_expose_the_branches_before_each_alloc() {
+        let mut session = Session::builder()
+            .source(
+                r#"
+                fn main() -> u32 {
+                    var early: u64 = malloc(16);
+                    var b: u32 = input_byte(0) as u32;
+                    if (b < 100) { output(1); }
+                    var late: u64 = malloc((b * 2) as u64);
+                    return 0;
+                }
+                "#,
+            )
+            .build()
+            .unwrap();
+        let trace = session.record_with_input(&[7]);
+        assert_eq!(trace.path_constraints().len(), 1);
+        assert!(trace.path_to_alloc(0).is_empty());
+        assert_eq!(trace.path_to_alloc(1).len(), 1);
+        assert!(trace.path_to_alloc(99).is_empty());
     }
 
     #[test]

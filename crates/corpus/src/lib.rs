@@ -249,6 +249,72 @@ pub const FRAME_RATE_DIV: Scenario = Scenario {
     fields: &[("/frm/rate", &[0]), ("/frm/scale", &[1])],
 };
 
+/// A recipient that parses a chunked container: a `kind` byte selects either
+/// a fixed-size header path or a table path allocating
+/// `count * stride * 8` bytes at 32 bits — which wraps for large headers
+/// (the CVE-2002-0059-style "element count times element size" overflow).
+/// The benign input takes the fixed-size path, so DIODE's generational
+/// search must *flip* the kind branch before the overflow goal at the table
+/// allocation becomes reachable.  The donor computes the table size at 64
+/// bits and rejects anything that does not fit in 32 — the check to
+/// transfer.
+pub const CHUNK_ALLOC: Scenario = Scenario {
+    name: "chunk-table-overflow",
+    source: r#"
+        fn read_u16(off: u64) -> u16 {
+            return ((input_byte(off) as u16) << 8) | (input_byte(off + 1) as u16);
+        }
+        fn main() -> u32 {
+            var kind: u32 = input_byte(0) as u32;
+            if (kind == 0) {
+                var header: u64 = malloc(64);
+                output(0);
+                return 0;
+            }
+            var count: u32 = read_u16(1) as u32;
+            var stride: u32 = read_u16(3) as u32;
+            var bytes: u32 = (count * stride) * 8;
+            var table: u64 = malloc(bytes as u64);
+            output(bytes as u64);
+            return 0;
+        }
+    "#,
+    donor_source: r#"
+        fn read_u16(off: u64) -> u16 {
+            return ((input_byte(off) as u16) << 8) | (input_byte(off + 1) as u16);
+        }
+        fn main() -> u32 {
+            var kind: u64 = input_byte(0) as u64;
+            if (kind == 0) {
+                var header: u64 = malloc(64);
+                output(0);
+                return 0;
+            }
+            var count: u64 = read_u16(1) as u64;
+            var stride: u64 = read_u16(3) as u64;
+            var bytes: u64 = (count * stride) * 8;
+            if (bytes > 4294967295) { exit(1); }
+            var table: u64 = malloc(bytes);
+            output(bytes);
+            return 0;
+        }
+    "#,
+    error_class: ErrorClass::OverflowIntoAllocation,
+    error_input: &[0x01, 0xFF, 0xFF, 0xFF, 0xFF],
+    benign_input: &[0x00, 0x00, 0x10, 0x00, 0x02],
+    benign_corpus: &[
+        &[0x00, 0x00, 0x10, 0x00, 0x02],
+        &[0x01, 0x00, 0x10, 0x00, 0x02],
+        &[0x01, 0x00, 0x40, 0x00, 0x40],
+    ],
+    patch_action: PatchAction::Exit(1),
+    fields: &[
+        ("/chk/kind", &[0]),
+        ("/chk/count", &[1, 2]),
+        ("/chk/stride", &[3, 4]),
+    ],
+};
+
 /// A recipient-shaped program for the image scenario: parses the same header
 /// but validates nothing — the program a transferred check would protect.
 pub const IMAGE_RECIPIENT: &str = r#"
@@ -263,8 +329,18 @@ pub const IMAGE_RECIPIENT: &str = r#"
 "#;
 
 /// All donor scenarios, covering every error class and both patch actions.
-pub fn scenarios() -> [Scenario; 4] {
-    [IMAGE_ALLOC, PALETTE_OOB, SAMPLE_DIV, FRAME_RATE_DIV]
+///
+/// Two scenarios ([`IMAGE_ALLOC`], [`CHUNK_ALLOC`]) exercise the overflow
+/// class: the pipeline *derives* their error inputs with goal-directed
+/// discovery instead of consulting the hand-written ones.
+pub fn scenarios() -> [Scenario; 5] {
+    [
+        IMAGE_ALLOC,
+        CHUNK_ALLOC,
+        PALETTE_OOB,
+        SAMPLE_DIV,
+        FRAME_RATE_DIV,
+    ]
 }
 
 #[cfg(test)]

@@ -9,8 +9,11 @@
 //! `cp-patch`, and [`figure8`] renders the outcomes as the report table the
 //! `fig8` binary prints.
 
-use crate::Scenario;
-use cp_core::{Check, PipelineError, Session, TransferOutcome, TransferSpec};
+use crate::{ErrorClass, Scenario};
+use cp_core::{
+    Check, DiscoverConfig, DiscoverOutcome, Discovery, PipelineError, Session, TransferOutcome,
+    TransferSpec,
+};
 use cp_vm::Termination;
 
 /// The result of one scenario's end-to-end run.
@@ -18,9 +21,17 @@ use cp_vm::Termination;
 pub struct ScenarioOutcome {
     /// The scenario that ran.
     pub scenario: Scenario,
+    /// How the error input was derived, for overflow scenarios: the
+    /// goal-directed discovery search that generated it (`None` for the
+    /// other error classes, whose inputs stay hand-written).
+    pub discovery: Option<Discovery>,
+    /// The error input the pipeline actually used — discovered for overflow
+    /// scenarios, the scenario's hand-written one otherwise.
+    pub error_input: Vec<u8>,
     /// How the stripped donor terminated on the error input (its guard must
     /// intercept: a clean exit or a clean return, never a detected error).
-    pub donor_termination: Termination,
+    /// `None` when discovery failed before the donor ever ran.
+    pub donor_termination: Option<Termination>,
     /// The error the unpatched recipient trips on, rendered.
     pub recipient_error: String,
     /// Op count of the transferred donor check as recorded (Figure 8
@@ -37,41 +48,76 @@ impl ScenarioOutcome {
     pub fn validated(&self) -> bool {
         self.result.is_ok()
     }
+
+    /// Whether this scenario's error class is the one discovery targets.
+    pub fn discoverable(&self) -> bool {
+        self.scenario.error_class == ErrorClass::OverflowIntoAllocation
+    }
 }
 
 /// Sweeps one scenario through the full pipeline.
 ///
-/// Discovery mirrors the paper: the stripped donor is recorded on the error
-/// input; every candidate check it performed on the input is folded over the
-/// scenario's format descriptor and offered to the transfer engine in
-/// execution order; the first check that yields a *validated* patch wins.
+/// The stages mirror the paper end to end.  **Discover**: for
+/// overflow-into-allocation scenarios the error input is *generated* — the
+/// recipient is recorded on the benign input and `Session::discover` steers
+/// the solver toward an overflow at the ranked allocation sites; the
+/// hand-written `error_input` is never consulted.  **Record**: the stripped
+/// donor runs on the (derived) error input.  **Translate/insert/validate**:
+/// every candidate check the donor performed is folded over the scenario's
+/// format descriptor and offered to the transfer engine in execution order;
+/// the first check that yields a *validated* patch wins.
 ///
 /// # Errors
 ///
 /// Returns a [`PipelineError`] only when a corpus program fails to build —
-/// transfer failures are reported inside the outcome.
+/// discovery and transfer failures are reported inside the outcome.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome, PipelineError> {
     let format = scenario.format();
+
+    let mut recipient = Session::builder().source(scenario.source).build()?;
+
+    // Discover: derive the error input for the overflow class.
+    let (error_input, discovery) = if scenario.error_class == ErrorClass::OverflowIntoAllocation {
+        match recipient.discover(scenario.benign_input, &DiscoverConfig::default()) {
+            DiscoverOutcome::Found(found) => (found.input.clone(), Some(found)),
+            DiscoverOutcome::NoTargetReachable(report) => {
+                return Ok(ScenarioOutcome {
+                    scenario: *scenario,
+                    discovery: None,
+                    error_input: Vec::new(),
+                    donor_termination: None,
+                    recipient_error: "-".into(),
+                    raw_ops: None,
+                    simplified_ops: None,
+                    result: Err(format!(
+                        "discovery found no error input ({} executions, {} sites, {} queries)",
+                        report.executions, report.sites_examined, report.solver_queries
+                    )),
+                });
+            }
+        }
+    } else {
+        (scenario.error_input.to_vec(), None)
+    };
 
     let mut donor = Session::builder()
         .source(scenario.donor_source)
         .stripped()
         .build()?;
-    let donor_trace = donor.record_with_input(scenario.error_input);
+    let donor_trace = donor.record_with_input(&error_input);
 
-    let mut recipient = Session::builder().source(scenario.source).build()?;
     // One instrumented error-input recording serves both the fault report
     // and the insertion planner for every candidate check — the trace is
     // check-independent.
-    let crash = recipient.record_with_input(scenario.error_input);
+    let crash = recipient.record_with_input(&error_input);
     let recipient_error = crash
         .last_error()
         .map(|e| e.to_string())
         .unwrap_or_else(|| "ran cleanly".into());
     let analyzed = recipient.analyzed().expect("built from source");
 
-    let spec = TransferSpec::new(scenario.error_input, scenario.benign_corpus)
-        .with_action(scenario.patch_action);
+    let spec =
+        TransferSpec::new(&error_input, scenario.benign_corpus).with_action(scenario.patch_action);
 
     let mut last_failure = String::from("donor performed no transferable check");
     let mut transferred: Option<(&Check, TransferOutcome)> = None;
@@ -96,7 +142,9 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome, PipelineErro
     };
     Ok(ScenarioOutcome {
         scenario: *scenario,
-        donor_termination: donor_trace.termination,
+        discovery,
+        error_input,
+        donor_termination: Some(donor_trace.termination),
         recipient_error,
         raw_ops,
         simplified_ops,
@@ -117,12 +165,29 @@ pub fn run_all() -> Vec<ScenarioOutcome> {
         .collect()
 }
 
+/// Renders one outcome's `discovered` column: `g<generations>/x<executions>`
+/// for a discovery-derived error input, `-` for hand-written ones.
+fn discovered_cell(outcome: &ScenarioOutcome) -> String {
+    match &outcome.discovery {
+        Some(found) => format!("g{}/x{}", found.generations, found.executions),
+        None => "-".into(),
+    }
+}
+
 /// Renders the outcomes as the Figure 8 report table.
 pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<26} {:<10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}  detail\n",
-        "scenario", "class", "raw-ops", "simp-ops", "insertion", "action", "benign", "tries"
+        "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}  detail\n",
+        "scenario",
+        "class",
+        "discovered",
+        "raw-ops",
+        "simp-ops",
+        "insertion",
+        "action",
+        "benign",
+        "tries"
     ));
     for outcome in outcomes {
         let class = format!("{:?}", outcome.scenario.error_class);
@@ -134,9 +199,10 @@ pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
                     cp_lang::PatchAction::ReturnZero => "return0",
                 };
                 out.push_str(&format!(
-                    "{:<26} {:<10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}  validated: {}\n",
+                    "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}  validated: {}\n",
                     outcome.scenario.name,
                     class,
+                    discovered_cell(outcome),
                     ops(outcome.raw_ops),
                     ops(outcome.simplified_ops),
                     transfer.site.to_string(),
@@ -148,9 +214,10 @@ pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
             }
             Err(failure) => {
                 out.push_str(&format!(
-                    "{:<26} {:<10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}  FAILED: {}\n",
+                    "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}  FAILED: {}\n",
                     outcome.scenario.name,
                     class,
+                    discovered_cell(outcome),
                     ops(outcome.raw_ops),
                     ops(outcome.simplified_ops),
                     "-",
@@ -174,9 +241,25 @@ mod tests {
         let outcomes = run_all();
         assert_eq!(outcomes.len(), crate::scenarios().len());
         for outcome in &outcomes {
-            // The donor's own guard intercepted the error input…
+            // Overflow scenarios derived their error input via discovery,
+            // without consulting the hand-written one…
+            if outcome.discoverable() {
+                let found = outcome
+                    .discovery
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{}: discovery must succeed", outcome.scenario.name));
+                assert_eq!(found.input, outcome.error_input);
+            } else {
+                assert!(outcome.discovery.is_none());
+                assert_eq!(outcome.error_input, outcome.scenario.error_input);
+            }
+            // …the donor's own guard intercepted the error input…
+            let donor_termination = outcome
+                .donor_termination
+                .as_ref()
+                .expect("donor ran on every scenario");
             assert!(
-                outcome.donor_termination.error().is_none(),
+                donor_termination.error().is_none(),
                 "{}: donor faulted: {:?}",
                 outcome.scenario.name,
                 outcome.donor_termination

@@ -1,0 +1,150 @@
+//! Goal-directed discovery over the corpus: the DIODE stage end to end.
+//!
+//! These tests pin the contract the `discover` CI job gates: for every
+//! overflow scenario the generator derives an error input from the *benign*
+//! input alone (the hand-written `error_input` is never consulted), the
+//! derived input re-executes to `OverflowIntoAllocation`, the search is
+//! deterministic under a fixed seed, and unreachable goals terminate with a
+//! clean "no target reachable" verdict inside the budget.
+
+use cp_core::{DiscoverConfig, DiscoverOutcome, Session};
+use cp_corpus::{scenarios, ErrorClass};
+use cp_vm::VmError;
+
+/// Every overflow scenario derives an error input by discovery, starting
+/// from the benign input, and the input actually trips the detector on
+/// re-execution.
+#[test]
+fn overflow_scenarios_derive_their_error_inputs() {
+    let overflow: Vec<_> = scenarios()
+        .into_iter()
+        .filter(|s| s.error_class == ErrorClass::OverflowIntoAllocation)
+        .collect();
+    assert!(
+        overflow.len() >= 2,
+        "the corpus must keep at least two discoverable scenarios"
+    );
+    for scenario in overflow {
+        let mut session = Session::builder()
+            .source(scenario.source)
+            .build()
+            .expect("recipient builds");
+        let outcome = session.discover(scenario.benign_input, &DiscoverConfig::default());
+        let found = outcome
+            .found()
+            .unwrap_or_else(|| panic!("{}: discovery must find the overflow", scenario.name));
+
+        // The generated input is not the benign seed and was never copied
+        // from the hand-written error input.
+        assert_ne!(
+            found.input.as_slice(),
+            scenario.benign_input,
+            "{}",
+            scenario.name
+        );
+        assert!(
+            found.executions >= 2,
+            "every candidate is validated by running"
+        );
+
+        // Re-execution is the ground truth: the input trips the detector.
+        let trace = session.record_with_input(&found.input);
+        match trace.last_error() {
+            Some(VmError::OverflowIntoAllocation { requested }) => {
+                assert_eq!(*requested, found.requested, "{}", scenario.name);
+            }
+            other => panic!("{}: expected overflow, got {other:?}", scenario.name),
+        }
+    }
+}
+
+/// The chunk scenario's benign input takes the fixed-size path: reaching the
+/// overflow requires flipping the kind branch, so its discovery must take
+/// more than one generation.
+#[test]
+fn chunk_scenario_requires_a_generational_flip() {
+    let scenario = cp_corpus::CHUNK_ALLOC;
+    let mut session = Session::builder()
+        .source(scenario.source)
+        .build()
+        .expect("recipient builds");
+    let outcome = session.discover(scenario.benign_input, &DiscoverConfig::default());
+    let found = outcome.found().expect("chunk overflow must be discovered");
+    assert!(
+        found.generations >= 2,
+        "benign takes the fixed-size path; got generation {}",
+        found.generations
+    );
+    // The flip shows up in the input: the kind byte is no longer zero.
+    assert_ne!(found.input[0], 0);
+}
+
+/// Same benign input + same seed → same discovered error input; the search
+/// is a deterministic procedure, not a fuzzer.
+#[test]
+fn discovery_is_deterministic_under_a_fixed_seed() {
+    for scenario in scenarios()
+        .into_iter()
+        .filter(|s| s.error_class == ErrorClass::OverflowIntoAllocation)
+    {
+        let mut inputs = Vec::new();
+        for _ in 0..2 {
+            let mut session = Session::builder()
+                .source(scenario.source)
+                .build()
+                .expect("recipient builds");
+            let outcome =
+                session.discover(scenario.benign_input, &DiscoverConfig::with_seed(0xFEED));
+            inputs.push(
+                outcome
+                    .found()
+                    .unwrap_or_else(|| panic!("{}: discovery must succeed", scenario.name))
+                    .input
+                    .clone(),
+            );
+        }
+        assert_eq!(inputs[0], inputs[1], "{}", scenario.name);
+    }
+}
+
+/// A recipient whose only tainted allocation sits behind a saturating guard
+/// (plus a constant-size allocation): unguarded, `(w * h) * 8` would wrap at
+/// 32 bits, but the guard's path constraint (`w * h <= 2^20` at 64 bits)
+/// contradicts the overflow goal — the straight-line query is UNSAT — and
+/// flipping the guard exits before any allocation.  Discovery must
+/// terminate with the clean "no target reachable" verdict inside its
+/// budget, not spin or claim a find.
+#[test]
+fn unsat_goal_reports_no_target_reachable_within_budget() {
+    let source = r#"
+        fn main() -> u32 {
+            var w: u32 = ((input_byte(0) as u32) << 8) | (input_byte(1) as u32);
+            var h: u32 = ((input_byte(2) as u32) << 8) | (input_byte(3) as u32);
+            if ((w as u64) * (h as u64) > 1048576) { exit(1); }
+            var buf: u64 = malloc(((w * h) * 8) as u64);
+            var table: u64 = malloc(256);
+            output((w * h) as u64);
+            return 0;
+        }
+    "#;
+    let mut session = Session::builder()
+        .source(source)
+        .build()
+        .expect("recipient builds");
+    let config = DiscoverConfig::default();
+    match session.discover(&[0x00, 0x10, 0x00, 0x10], &config) {
+        DiscoverOutcome::NoTargetReachable(report) => {
+            assert!(
+                report.sites_examined > 0,
+                "the tainted site must be examined"
+            );
+            assert!(
+                report.executions <= config.max_executions,
+                "terminated within budget: {report:?}"
+            );
+        }
+        DiscoverOutcome::Found(found) => {
+            panic!("a guarded w*h <= 2^20 cannot overflow 32 bits: {found:?}")
+        }
+    }
+}

@@ -6,9 +6,10 @@
 //!    fires and the donor exits cleanly where the recipient would fault;
 //! 2. fold the discovered check over the scenario's format descriptor so it
 //!    reads as `HachField` expressions (application-independent form);
-//! 3. record the recipient on the benign input and translate the donor
-//!    check into the recipient's namespace with `Trace::translate_check` —
-//!    every field must bind with a `Proved` solver verdict;
+//! 3. translate the donor check into the recipient's namespace with
+//!    `Trace::translate_check` over the recipient's *error-input* trace (the
+//!    run that exposes the vulnerable path, exactly as the batch pipeline
+//!    does) — every field must bind with a `Proved` solver verdict;
 //! 4. validate the translated condition: it must flag the error input and
 //!    accept the benign corpus.
 
@@ -56,7 +57,9 @@ fn transfer(scenario: &Scenario) -> String {
         scenario.name
     );
 
-    // Record the recipient's benign run: the namespace the check lands in.
+    // The benign input still runs clean, and the error-input trace — the
+    // run that walks the vulnerable path — is the namespace the check lands
+    // in, exactly as the batch pipeline translates.
     let benign_trace = recipient.record_with_input(scenario.benign_input);
     assert!(
         benign_trace.last_error().is_none(),
@@ -64,7 +67,7 @@ fn transfer(scenario: &Scenario) -> String {
         scenario.name
     );
     assert!(
-        !benign_trace.candidates().is_empty(),
+        !crash.candidates().is_empty(),
         "{}: recipient trace offers no translation candidates",
         scenario.name
     );
@@ -78,7 +81,7 @@ fn transfer(scenario: &Scenario) -> String {
         if !paper_format(&folded).contains("HachField") {
             continue;
         }
-        let Ok(translation) = benign_trace.translate_check(check, &format) else {
+        let Ok(translation) = crash.translate_check(check, &format) else {
             continue;
         };
         assert_eq!(

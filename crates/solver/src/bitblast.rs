@@ -474,11 +474,61 @@ impl Blaster {
     }
 }
 
+/// Decides a single root literal over an already-built circuit: CNF of the
+/// cone of influence, CDCL search, and — on a model — projection of the
+/// satisfying assignment onto the input bytes.
+///
+/// Input variables outside the cone are unconstrained; they decode as zero,
+/// which is a valid completion of any partial model.
+fn decide_root(
+    blaster: &Blaster,
+    root: Lit,
+    offsets: &[usize],
+    limits: &BlastLimits,
+) -> BlastOutcome {
+    if root == LIT_FALSE {
+        return BlastOutcome::Unsat;
+    }
+    if root == LIT_TRUE {
+        // The circuit folded to constant true: every environment satisfies.
+        return BlastOutcome::Sat(offsets.iter().map(|&o| (o, 0)).collect());
+    }
+    let clauses = blaster.aig.cnf_cone(root);
+    let mut sat = Cdcl::new(blaster.aig.n_vars(), clauses);
+    match sat.solve(limits.max_conflicts) {
+        None => BlastOutcome::Abandoned("conflict budget"),
+        Some(false) => BlastOutcome::Unsat,
+        Some(true) => {
+            let model = offsets
+                .iter()
+                .map(|&off| {
+                    let base = blaster.offset_var[&off];
+                    let mut byte = 0u8;
+                    for i in 0..8u32 {
+                        if sat.value(base + i) {
+                            byte |= 1 << i;
+                        }
+                    }
+                    (off, byte)
+                })
+                .collect();
+            BlastOutcome::Sat(model)
+        }
+    }
+}
+
+fn abandoned(error: BlastError) -> BlastOutcome {
+    match error {
+        BlastError::Unsupported(why) => BlastOutcome::Abandoned(why),
+        BlastError::GateBudget => BlastOutcome::Abandoned("gate budget"),
+    }
+}
+
 /// Checks whether `a` and `b` denote the same `u64` value on every input.
 ///
 /// Builds the miter `a ≠ b` (both values zero-extended to a common width,
 /// exactly as the sampling comparison treats `eval` results) and decides it
-/// with the built-in DPLL under `limits`.
+/// with the built-in CDCL under `limits`.
 pub fn check_equiv(a: &ExprRef, b: &ExprRef, limits: &BlastLimits) -> BlastOutcome {
     let mut offsets: Vec<usize> = a.support().iter().chain(b.support().iter()).collect();
     offsets.sort_unstable();
@@ -498,40 +548,30 @@ pub fn check_equiv(a: &ExprRef, b: &ExprRef, limits: &BlastLimits) -> BlastOutco
         }
         Ok(diff)
     };
-    let diff = match build(&mut blaster) {
-        Ok(diff) => diff,
-        Err(BlastError::Unsupported(why)) => return BlastOutcome::Abandoned(why),
-        Err(BlastError::GateBudget) => return BlastOutcome::Abandoned("gate budget"),
-    };
-    if diff == LIT_FALSE {
-        return BlastOutcome::Unsat;
+    match build(&mut blaster) {
+        Ok(diff) => decide_root(&blaster, diff, &offsets, limits),
+        Err(error) => abandoned(error),
     }
-    if diff == LIT_TRUE {
-        // The miter folded to constant true: every environment disagrees.
-        return BlastOutcome::Sat(offsets.iter().map(|&o| (o, 0)).collect());
-    }
+}
 
-    let clauses = blaster.aig.cnf_cone(diff);
-    let mut sat = Cdcl::new(blaster.aig.n_vars(), clauses);
-    match sat.solve(limits.max_conflicts) {
-        None => BlastOutcome::Abandoned("conflict budget"),
-        Some(false) => BlastOutcome::Unsat,
-        Some(true) => {
-            let witness = offsets
-                .iter()
-                .map(|&off| {
-                    let base = blaster.offset_var[&off];
-                    let mut byte = 0u8;
-                    for i in 0..8u32 {
-                        if sat.value(base + i) {
-                            byte |= 1 << i;
-                        }
-                    }
-                    (off, byte)
-                })
-                .collect();
-            BlastOutcome::Sat(witness)
-        }
+/// Checks whether `expr` can evaluate to a non-zero value on some input —
+/// the satisfiability entry point goal-directed discovery builds on.
+///
+/// `Sat` carries a full input-byte model over the expression's support
+/// (`Unsat` means the expression is zero on **every** environment); the
+/// query abandons on unsupported operators or exhausted budgets exactly as
+/// [`check_equiv`] does.
+pub fn check_nonzero(expr: &ExprRef, limits: &BlastLimits) -> BlastOutcome {
+    let offsets: Vec<usize> = expr.support().iter().collect();
+
+    let mut blaster = Blaster::new(&offsets, limits.max_gates);
+    let build = |blaster: &mut Blaster| -> Result<Lit, BlastError> {
+        let bits = blaster.blast(expr)?;
+        blaster.or_reduce(&bits)
+    };
+    match build(&mut blaster) {
+        Ok(nonzero) => decide_root(&blaster, nonzero, &offsets, limits),
+        Err(error) => abandoned(error),
     }
 }
 
@@ -1295,6 +1335,59 @@ mod tests {
         assert_eq!(
             check_equiv(&left, &right, &BlastLimits::default()),
             BlastOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn nonzero_finds_a_model_for_a_narrow_equality() {
+        // hdr16 == 0xBEEF has exactly one model over two bytes.
+        let raw = be16(0, 1);
+        let goal = raw.binop(BinOp::Eq, SymExpr::constant(Width::W16, 0xBEEF));
+        match check_nonzero(&goal, &BlastLimits::default()) {
+            BlastOutcome::Sat(model) => {
+                let mut sorted = model.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![(0, 0xBE), (1, 0xEF)]);
+                let lookup = |off: usize| sorted.iter().find(|(o, _)| *o == off).unwrap().1;
+                assert_ne!(eval(&goal, &lookup), 0);
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonzero_refutes_contradictions() {
+        let x = SymExpr::input_byte(0).zext(Width::W16);
+        let lt = x.binop(BinOp::LtU, SymExpr::constant(Width::W16, 4));
+        let ge = SymExpr::constant(Width::W16, 9).binop(BinOp::LeU, x);
+        let both = lt.binop(BinOp::And, ge);
+        assert_eq!(
+            check_nonzero(&both, &BlastLimits::default()),
+            BlastOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn nonzero_constant_true_satisfies_trivially() {
+        let one = SymExpr::constant(Width::W8, 1);
+        assert!(matches!(
+            check_nonzero(&one, &BlastLimits::default()),
+            BlastOutcome::Sat(_)
+        ));
+        let zero = SymExpr::constant(Width::W8, 0);
+        assert_eq!(
+            check_nonzero(&zero, &BlastLimits::default()),
+            BlastOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn nonzero_abandons_on_division() {
+        let x = SymExpr::input_byte(0).zext(Width::W16);
+        let y = SymExpr::input_byte(1).zext(Width::W16);
+        assert_eq!(
+            check_nonzero(&x.binop(BinOp::DivU, y), &BlastLimits::default()),
+            BlastOutcome::Abandoned("division")
         );
     }
 

@@ -30,7 +30,7 @@ pub mod bitblast;
 pub mod differential;
 pub mod translate;
 
-use bitblast::{check_equiv, BlastLimits, BlastOutcome};
+use bitblast::{check_equiv, check_nonzero, BlastLimits, BlastOutcome};
 use cp_symexpr::eval::eval;
 use cp_symexpr::rewrite::simplify;
 use cp_symexpr::ExprRef;
@@ -74,6 +74,43 @@ impl Equivalence {
     }
 }
 
+/// The verdict of a satisfiability query ([`Solver::solve`]).
+///
+/// `Sat` and `Unsat` are definitive; a `Sat` model is always re-validated by
+/// evaluation before being returned.  `Unknown` means the query exhausted its
+/// budgets or met an operator outside the decision procedure's fragment
+/// without the sampling or exhaustive stages finding a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Satisfiability {
+    /// A concrete byte environment on which the expression is non-zero.
+    /// Bytes outside the model (including support bytes the search left
+    /// unconstrained) may take any value the caller likes — zero and the
+    /// caller's existing input are both valid completions.
+    Sat {
+        /// Input bytes (indexed by offset) of the satisfying environment.
+        model: Vec<(usize, u8)>,
+    },
+    /// The expression evaluates to zero under **every** byte environment.
+    Unsat,
+    /// Neither a model nor a refutation within the configured budgets.
+    Unknown,
+}
+
+impl Satisfiability {
+    /// The model, if the query was satisfiable.
+    pub fn model(&self) -> Option<&[(usize, u8)]> {
+        match self {
+            Satisfiability::Sat { model } => Some(model),
+            _ => None,
+        }
+    }
+
+    /// Whether a satisfying model was found.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Satisfiability::Sat { .. })
+    }
+}
+
 /// Whether two expressions read disjoint sets of input bytes.
 ///
 /// This is the fast path that lets translation skip solver invocations: a
@@ -83,6 +120,18 @@ impl Equivalence {
 /// expressions.
 pub fn disjoint_support(a: &ExprRef, b: &ExprRef) -> bool {
     a.support().is_disjoint(b.support())
+}
+
+/// Evaluates `expr` under a sparse byte model (absent offsets read zero).
+fn eval_model(expr: &ExprRef, model: &[(usize, u8)]) -> u64 {
+    let lookup = |offset: usize| {
+        model
+            .iter()
+            .find(|(o, _)| *o == offset)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    eval(expr, &lookup)
 }
 
 /// Evaluates both expressions under the witness environment and reports
@@ -193,6 +242,43 @@ impl SampleSolver {
         }
         Equivalence::Unknown
     }
+
+    /// Hunts for a byte environment on which `expr` evaluates non-zero.
+    ///
+    /// The same deterministic environment stream as
+    /// [`equivalent`](Self::equivalent): boundary fills first (all-zeros,
+    /// all-ones, sign-bit, one), then the seeded pseudo-random stream.
+    /// Sampling can only ever *find* a model, never refute satisfiability.
+    pub fn find_model(&self, expr: &ExprRef) -> Option<Vec<(usize, u8)>> {
+        let offsets: Vec<usize> = expr.support().iter().collect();
+        let mut env: Vec<(usize, u8)> = offsets.iter().map(|&o| (o, 0)).collect();
+        let sat = |env: &[(usize, u8)]| eval_model(expr, env) != 0;
+
+        if offsets.is_empty() {
+            return sat(&env).then_some(env);
+        }
+        for fill in [0x00u8, 0xFF, 0x80, 0x01] {
+            for slot in env.iter_mut() {
+                slot.1 = fill;
+            }
+            if sat(&env) {
+                return Some(env);
+            }
+        }
+        let mut rng = self.seed | 1;
+        for _ in 0..self.samples {
+            for slot in env.iter_mut() {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                slot.1 = (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8;
+            }
+            if sat(&env) {
+                return Some(env);
+            }
+        }
+        None
+    }
 }
 
 /// The full equivalence decision procedure.
@@ -269,6 +355,73 @@ impl Solver {
             }
             BlastOutcome::Abandoned(_) => self.exhaustive(&sa, &sb),
         }
+    }
+
+    /// Decides whether `cond` can evaluate non-zero on some input, and
+    /// extracts a full input-byte model when it can.
+    ///
+    /// This is the satisfiability entry point goal-directed discovery uses:
+    /// the same AIG → Tseitin → CDCL stack as [`equivalent`](Self::equivalent)
+    /// but with the satisfying assignment projected onto the input bytes
+    /// instead of being treated as a refutation witness.  Escalation order:
+    ///
+    /// 1. **constant fold** — a [`simplify`]d constant decides outright;
+    /// 2. **sampling** — the seeded deterministic environment stream hunts
+    ///    for a cheap model (and handles operators the blaster abandons);
+    /// 3. **bit-blast** — [`bitblast::check_nonzero`]: `Unsat` is a proof of
+    ///    unsatisfiability, a model is re-validated by evaluation;
+    /// 4. **exhaustive enumeration** over small supports when the blaster
+    ///    abandons; otherwise
+    /// 5. **Unknown**.
+    pub fn solve(&self, cond: &ExprRef) -> Satisfiability {
+        let sc = simplify(cond);
+        if let Some(value) = sc.as_const() {
+            return if value != 0 {
+                Satisfiability::Sat { model: Vec::new() }
+            } else {
+                Satisfiability::Unsat
+            };
+        }
+        if let Some(model) = self.sampler.find_model(&sc) {
+            // Defensive: the model must satisfy the *original* condition.
+            if eval_model(cond, &model) != 0 {
+                return Satisfiability::Sat { model };
+            }
+        }
+        match check_nonzero(&sc, &self.limits) {
+            BlastOutcome::Unsat => Satisfiability::Unsat,
+            BlastOutcome::Sat(model) => {
+                if eval_model(cond, &model) != 0 {
+                    Satisfiability::Sat { model }
+                } else {
+                    // A model the original condition rejects is a solver bug,
+                    // not a satisfying environment.
+                    Satisfiability::Unknown
+                }
+            }
+            BlastOutcome::Abandoned(_) => self.exhaustive_model(cond, &sc),
+        }
+    }
+
+    /// Enumerates every byte environment over the support looking for a
+    /// model, when that fits in the budget.
+    fn exhaustive_model(&self, original: &ExprRef, cond: &ExprRef) -> Satisfiability {
+        let offsets: Vec<usize> = cond.support().iter().collect();
+        let k = offsets.len() as u32;
+        if k >= 8 || 256u64.saturating_pow(k) > self.exhaustive_budget {
+            return Satisfiability::Unknown;
+        }
+        let mut env: Vec<(usize, u8)> = offsets.iter().map(|&o| (o, 0)).collect();
+        let total = 256u64.pow(k);
+        for assignment in 0..total {
+            for (i, slot) in env.iter_mut().enumerate() {
+                slot.1 = (assignment >> (8 * i)) as u8;
+            }
+            if eval_model(cond, &env) != 0 && eval_model(original, &env) != 0 {
+                return Satisfiability::Sat { model: env };
+            }
+        }
+        Satisfiability::Unsat
     }
 
     /// Enumerates every byte environment over the union support, when that
@@ -423,5 +576,99 @@ mod tests {
             .binop(BinOp::Add, byte(0))
             .binop(BinOp::DivU, divisor);
         assert_eq!(Solver::default().equivalent(&a, &b), Equivalence::Unknown);
+    }
+
+    #[test]
+    fn solve_finds_a_validated_model() {
+        let goal = be16(0, 1).binop(BinOp::Eq, SymExpr::constant(Width::W16, 0xCAFE));
+        match Solver::default().solve(&goal) {
+            Satisfiability::Sat { model } => {
+                assert_ne!(eval_model(&goal, &model), 0);
+                let mut sorted = model;
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![(0, 0xCA), (1, 0xFE)]);
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_refutes_contradictions() {
+        let x = SymExpr::input_byte(3).zext(Width::W32);
+        let small = x.binop(BinOp::LtU, SymExpr::constant(Width::W32, 5));
+        let big = SymExpr::constant(Width::W32, 200).binop(BinOp::LtU, x);
+        assert_eq!(
+            Solver::default().solve(&small.binop(BinOp::And, big)),
+            Satisfiability::Unsat
+        );
+    }
+
+    #[test]
+    fn solve_decides_constants_without_search() {
+        let t = SymExpr::constant(Width::W8, 1);
+        assert_eq!(
+            Solver::default().solve(&t),
+            Satisfiability::Sat { model: Vec::new() }
+        );
+        let f = SymExpr::constant(Width::W8, 0);
+        assert_eq!(Solver::default().solve(&f), Satisfiability::Unsat);
+    }
+
+    #[test]
+    fn solve_handles_division_via_fallbacks() {
+        // x / 2 == 7 cannot blast; sampling or the exhaustive stage must
+        // still produce a model (x in 14..=15).
+        let x = SymExpr::input_byte(0).zext(Width::W16);
+        let goal = x
+            .binop(BinOp::DivU, SymExpr::constant(Width::W16, 2))
+            .binop(BinOp::Eq, SymExpr::constant(Width::W16, 7));
+        match Solver::default().solve(&goal) {
+            Satisfiability::Sat { model } => {
+                assert_eq!(model.len(), 1);
+                assert!(model[0].1 == 14 || model[0].1 == 15);
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+        // x / 2 == 200 is unsatisfiable over one byte: exhaustive proves it.
+        let bad = x
+            .binop(BinOp::DivU, SymExpr::constant(Width::W16, 2))
+            .binop(BinOp::Eq, SymExpr::constant(Width::W16, 200));
+        assert_eq!(Solver::default().solve(&bad), Satisfiability::Unsat);
+    }
+
+    #[test]
+    fn solve_is_deterministic_per_seed() {
+        let goal = be16(4, 5).binop(BinOp::LtU, be16(6, 7));
+        let solver = Solver {
+            sampler: SampleSolver::with_seed(42),
+            ..Solver::default()
+        };
+        assert_eq!(solver.solve(&goal), solver.solve(&goal));
+    }
+
+    #[test]
+    fn solve_overflow_goal_produces_an_overflowing_model() {
+        // The discovery workload: solve the overflow goal of a 32-bit
+        // element-count times element-size product.  Two 16-bit factors
+        // alone cannot exceed u32::MAX, so the scaled three-factor form is
+        // the satisfiable shape real size computations take.
+        let count = be16(0, 1).zext(Width::W32);
+        let stride = be16(2, 3).zext(Width::W32);
+        let size = count
+            .binop(BinOp::Mul, stride)
+            .binop(BinOp::Mul, SymExpr::constant(Width::W32, 16));
+        let goal = cp_symexpr::overflow_goal(&size).unwrap();
+        match Solver::default().solve(&goal) {
+            Satisfiability::Sat { model } => {
+                let a = eval_model(&count, &model);
+                let b = eval_model(&stride, &model);
+                assert!(a * b * 16 > u64::from(u32::MAX), "{a} * {b} * 16 must wrap");
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+        // And the two-factor form really is unsatisfiable — the goal
+        // builder must not claim wraps that cannot happen.
+        let two = cp_symexpr::overflow_goal(&count.binop(BinOp::Mul, stride)).unwrap();
+        assert_eq!(Solver::default().solve(&two), Satisfiability::Unsat);
     }
 }

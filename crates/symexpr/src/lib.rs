@@ -42,6 +42,7 @@ pub mod display;
 pub mod eval;
 pub mod expr;
 pub mod op;
+pub mod overflow;
 pub mod rewrite;
 pub mod support;
 pub mod walk;
@@ -50,6 +51,7 @@ pub mod width;
 pub use arena::{ExprArena, ExprId};
 pub use expr::{ExprBuild, ExprRef, SymExpr};
 pub use op::{BinOp, CastKind, UnOp};
+pub use overflow::{overflow_conditions, overflow_goal};
 pub use support::SupportSet;
 pub use width::Width;
 

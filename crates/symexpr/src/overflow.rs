@@ -1,0 +1,263 @@
+//! Overflow goal conditions: symbolic predicates for "this expression's
+//! arithmetic wraps".
+//!
+//! The VM's DIODE detector sets a sticky flag on every `Add`/`Sub`/`Mul`
+//! whose result wraps at its width and traps when a flagged value reaches an
+//! allocation size.  Goal-directed discovery needs the *symbolic* analogue:
+//! given the recorded size expression of an allocation, a boolean expression
+//! over the input bytes that is non-zero exactly when some arithmetic node in
+//! the size computation wraps — the condition a satisfiability query can
+//! solve for an error input.
+//!
+//! Each condition mirrors the VM's `arith_wrapped` semantics through
+//! [`eval`](crate::eval::eval)'s width rules:
+//!
+//! * `Add` below 64 bits — both operands zero-extended to 64 bits, their sum
+//!   compared against the operand width's mask (a 64-bit add of two narrower
+//!   values cannot itself wrap);
+//! * `Add` at 64 bits — the wrapped sum is unsigned-less-than one operand;
+//! * `Sub` — unsigned `lhs < rhs` at the operand width;
+//! * `Mul` at or below 32 bits — the product of the zero-extended operands
+//!   compared against the mask (a 64-bit product of 32-bit values is exact);
+//! * `Mul` at 64 bits — the division check `lhs != 0 && product / lhs != rhs`
+//!   (the bit-blaster abandons symbolic division, so these goals fall back to
+//!   the solver's sampling and exhaustive stages).
+//!
+//! Comparison nodes start a clean value in the VM (their 0/1 result carries
+//! no overflow flag), so the walk does not descend into them: arithmetic
+//! feeding only a comparison cannot poison an allocation size.
+
+use crate::expr::{ExprBuild, ExprRef, SymExpr};
+use crate::op::BinOp;
+use crate::width::Width;
+use std::collections::HashSet;
+
+/// Re-widths `e` to `w` the way [`eval`](crate::eval::eval) treats a binary
+/// operand: values are truncated to the operand width before the operation,
+/// and narrower values zero-extend losslessly.
+fn fit(e: &ExprRef, w: Width) -> ExprRef {
+    if e.width() > w {
+        e.truncate(w)
+    } else {
+        e.zext(w)
+    }
+}
+
+/// The wrap predicate for one `Add`/`Sub`/`Mul` node, if expressible.
+///
+/// `node` must be the interned `Binary { op, width, lhs, rhs }` itself (the
+/// 64-bit forms reuse it as the already-wrapped result).
+fn node_wraps(
+    node: &ExprRef,
+    op: BinOp,
+    w: Width,
+    lhs: &ExprRef,
+    rhs: &ExprRef,
+) -> Option<ExprRef> {
+    let mask = SymExpr::constant(Width::W64, w.mask());
+    match op {
+        BinOp::Add if w < Width::W64 => {
+            let sum = fit(lhs, w)
+                .zext(Width::W64)
+                .binop(BinOp::Add, fit(rhs, w).zext(Width::W64));
+            Some(mask.binop(BinOp::LtU, sum))
+        }
+        // At 64 bits the widened sum is unavailable; a wrapped sum is
+        // strictly below either operand.
+        BinOp::Add => Some(node.binop(BinOp::LtU, fit(lhs, Width::W64))),
+        BinOp::Sub => Some(fit(lhs, w).binop(BinOp::LtU, fit(rhs, w))),
+        BinOp::Mul if w <= Width::W32 => {
+            let product = fit(lhs, w)
+                .zext(Width::W64)
+                .binop(BinOp::Mul, fit(rhs, w).zext(Width::W64));
+            Some(mask.binop(BinOp::LtU, product))
+        }
+        BinOp::Mul => {
+            // product / lhs != rhs detects a wrapped 64-bit product; guard
+            // the division so lhs == 0 (which cannot wrap) never divides.
+            let a = fit(lhs, Width::W64);
+            let b = fit(rhs, Width::W64);
+            let nonzero = a.binop(BinOp::Ne, SymExpr::constant(Width::W64, 0));
+            let mismatch = node.binop(BinOp::DivU, a).binop(BinOp::Ne, b);
+            Some(nonzero.binop(BinOp::And, mismatch))
+        }
+        _ => None,
+    }
+}
+
+/// The wrap predicates of every `Add`/`Sub`/`Mul` node whose overflow flag
+/// would reach the value of `expr`, in deterministic first-visit order.
+///
+/// Shared subtrees contribute one condition; subtrees feeding only comparison
+/// nodes contribute none (comparisons reset the VM's sticky flag).
+pub fn overflow_conditions(expr: &ExprRef) -> Vec<ExprRef> {
+    let mut out = Vec::new();
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut stack = vec![*expr];
+    while let Some(e) = stack.pop() {
+        if !seen.insert(e.memo_key()) {
+            continue;
+        }
+        match e.as_ref() {
+            SymExpr::Binary {
+                op,
+                width,
+                lhs,
+                rhs,
+            } => {
+                if op.is_comparison() {
+                    continue; // comparison results start clean
+                }
+                if let Some(cond) = node_wraps(&e, *op, *width, lhs, rhs) {
+                    out.push(cond);
+                }
+                // Right first so the left subtree pops (and reports) first.
+                stack.push(*rhs);
+                stack.push(*lhs);
+            }
+            SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => stack.push(*arg),
+            SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => {}
+        }
+    }
+    out
+}
+
+/// The overall overflow goal for `expr`: the disjunction of
+/// [`overflow_conditions`], or `None` when the expression contains no
+/// wrapping-capable arithmetic (a constant-size or copied-through
+/// allocation cannot be driven to overflow).
+pub fn overflow_goal(expr: &ExprRef) -> Option<ExprRef> {
+    let conds = overflow_conditions(expr);
+    let mut iter = conds.into_iter();
+    let first = iter.next()?;
+    Some(iter.fold(first, |acc, c| acc.binop(BinOp::Or, c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+
+    fn be16(hi: usize, lo: usize) -> ExprRef {
+        SymExpr::input_byte(hi)
+            .zext(Width::W16)
+            .binop(BinOp::Shl, SymExpr::constant(Width::W16, 8))
+            .binop(BinOp::Or, SymExpr::input_byte(lo).zext(Width::W16))
+    }
+
+    /// The goal must agree with concrete wrap detection: evaluate the goal
+    /// under an environment and compare with directly checking the node
+    /// arithmetic.
+    fn wraps_concretely(op: BinOp, w: Width, a: u64, b: u64) -> bool {
+        let mask = w.mask() as u128;
+        let (a, b) = (w.truncate(a), w.truncate(b));
+        match op {
+            BinOp::Add => (a as u128) + (b as u128) > mask,
+            BinOp::Sub => b > a,
+            BinOp::Mul => (a as u128) * (b as u128) > mask,
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn goal_matches_concrete_wrap_for_mul32() {
+        let w = be16(0, 1).zext(Width::W32);
+        let h = be16(2, 3).zext(Width::W32);
+        let product = w.binop(BinOp::Mul, h);
+        let goal = overflow_goal(&product).expect("mul is wrapping-capable");
+        for env in [
+            &[0x00u8, 0x10, 0x00, 0x10][..], // 16 * 16: no wrap
+            &[0xFF, 0xFF, 0xFF, 0xFF][..],   // 65535^2: no wrap at 32 bits
+            &[0x00, 0x00, 0xFF, 0xFF][..],   // 0 * anything: no wrap
+        ] {
+            let a = eval(&w, env);
+            let b = eval(&h, env);
+            assert_eq!(
+                eval(&goal, env) != 0,
+                wraps_concretely(BinOp::Mul, Width::W32, a, b),
+                "env {env:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chained_mul_goal_covers_every_node() {
+        // (w * h) * d at 32 bits: two wrap sites.
+        let w = be16(0, 1).zext(Width::W32);
+        let h = be16(2, 3).zext(Width::W32);
+        let d = be16(4, 5).zext(Width::W32);
+        let size = w.binop(BinOp::Mul, h).binop(BinOp::Mul, d);
+        assert_eq!(overflow_conditions(&size).len(), 2);
+        let goal = overflow_goal(&size).unwrap();
+        // 0xFFFF * 0xFFFF fits in 32 bits, but * 4 wraps only via the outer
+        // product.
+        let env: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x04];
+        assert_ne!(eval(&goal, env), 0);
+        let benign: &[u8] = &[0x00, 0x10, 0x00, 0x10, 0x00, 0x04];
+        assert_eq!(eval(&goal, benign), 0);
+    }
+
+    #[test]
+    fn add_goal_at_64_bits_uses_the_carry_trick() {
+        let a = SymExpr::field("/a", Width::W64, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let b = SymExpr::field("/b", Width::W64, vec![8, 9, 10, 11, 12, 13, 14, 15]);
+        let sum = a.binop(BinOp::Add, b);
+        let goal = overflow_goal(&sum).unwrap();
+        let wrap: Vec<u8> = vec![0xFF; 16];
+        assert_ne!(eval(&goal, &wrap), 0);
+        let clean: Vec<u8> = vec![0x01; 16];
+        assert_eq!(eval(&goal, &clean), 0);
+    }
+
+    #[test]
+    fn sub_goal_detects_borrow() {
+        let a = SymExpr::input_byte(0).zext(Width::W32);
+        let b = SymExpr::input_byte(1).zext(Width::W32);
+        let diff = a.binop(BinOp::Sub, b);
+        let goal = overflow_goal(&diff).unwrap();
+        assert_ne!(eval(&goal, &[1u8, 2][..]), 0);
+        assert_eq!(eval(&goal, &[2u8, 1][..]), 0);
+        assert_eq!(eval(&goal, &[5u8, 5][..]), 0);
+    }
+
+    #[test]
+    fn mul64_goal_uses_the_division_check() {
+        let a = SymExpr::field("/a", Width::W64, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let b = SymExpr::input_byte(8).zext(Width::W64);
+        let product = a.binop(BinOp::Mul, b);
+        let goal = overflow_goal(&product).unwrap();
+        let wrap: Vec<u8> = vec![0xFF; 9];
+        assert_ne!(eval(&goal, &wrap), 0);
+        let clean: Vec<u8> = vec![0, 0, 0, 0, 0, 0, 0, 2, 3];
+        assert_eq!(eval(&goal, &clean), 0);
+    }
+
+    #[test]
+    fn constant_and_copied_sizes_have_no_goal() {
+        assert!(overflow_goal(&SymExpr::constant(Width::W64, 64)).is_none());
+        let copied = SymExpr::input_byte(0).zext(Width::W64);
+        assert!(overflow_goal(&copied).is_none());
+    }
+
+    #[test]
+    fn arithmetic_under_a_comparison_is_ignored() {
+        // (a * b > 4) as a size: the comparison's 0/1 result is clean, so
+        // the multiply cannot poison the allocation.
+        let a = SymExpr::input_byte(0).zext(Width::W32);
+        let b = SymExpr::input_byte(1).zext(Width::W32);
+        let cmp = a
+            .binop(BinOp::Mul, b)
+            .binop(BinOp::LtU, SymExpr::constant(Width::W32, 4));
+        assert!(overflow_goal(&cmp).is_none());
+    }
+
+    #[test]
+    fn shared_nodes_contribute_one_condition() {
+        let a = SymExpr::input_byte(0).zext(Width::W32);
+        let b = SymExpr::input_byte(1).zext(Width::W32);
+        let product = a.binop(BinOp::Mul, b);
+        // product appears twice; only one wrap condition for it (plus the or).
+        let doubled = product.binop(BinOp::Or, product);
+        assert_eq!(overflow_conditions(&doubled).len(), 1);
+    }
+}

@@ -73,6 +73,10 @@ pub struct AllocRecord {
     pub size: u64,
     /// Symbolic expression of the size, when it depends on input bytes.
     pub size_expr: Option<ExprRef>,
+    /// Number of conditional branches observed before this allocation —
+    /// the prefix of the branch list that is the path to this site, which
+    /// goal-directed discovery conjoins with the overflow goal.
+    pub branches_before: usize,
 }
 
 impl AllocRecord {
@@ -152,6 +156,7 @@ impl Observer for TraceRecorder {
             base,
             size: size.raw,
             size_expr: size_expr.cloned(),
+            branches_before: self.branches.len(),
         });
     }
 
@@ -396,6 +401,25 @@ mod tests {
         let mut scopes = ScopeRecorder::new(vec![None; program.functions.len()]);
         run_with_observer(&program, &[9], &RunConfig::default(), &mut scopes);
         assert!(scopes.var_values.is_empty());
+    }
+
+    #[test]
+    fn alloc_records_carry_their_path_position() {
+        let recorder = record(
+            r#"
+            fn main() -> u32 {
+                var early: u64 = malloc(8);
+                var b: u32 = input_byte(0) as u32;
+                if (b < 10) { output(1); }
+                var late: u64 = malloc((b * 2) as u64);
+                return 0;
+            }
+            "#,
+            &[3],
+        );
+        assert_eq!(recorder.allocs.len(), 2);
+        assert_eq!(recorder.allocs[0].branches_before, 0);
+        assert_eq!(recorder.allocs[1].branches_before, 1);
     }
 
     #[test]
