@@ -16,7 +16,7 @@
 //! * `record+influence`— record, then filter branches by input offsets
 //! * `full`            — everything a donor analysis touches
 
-use cp_bench::harness::{bench, emit, section};
+use cp_bench::harness::{bench, emit_with, section};
 use cp_core::{Session, Trace};
 use std::hint::black_box;
 
@@ -109,5 +109,33 @@ fn main() {
     for m in &results {
         println!("{}", m.report());
     }
-    emit("long_trace", &results);
+
+    // What the IR optimizer buys on this loop: executed instruction counts
+    // of the same source compiled with passes on and off (fallthrough-jump
+    // elision alone saves one instruction per iteration).
+    let analyzed = cp_lang::frontend(SOURCE).expect("donor compiles");
+    let config = cp_vm::RunConfig {
+        max_steps: 10_000_000,
+        ..cp_vm::RunConfig::default()
+    };
+    let steps = |opt| {
+        let program = cp_bytecode::compile_with_opts(&analyzed, &cp_bytecode::CompileOpts { opt })
+            .expect("donor compiles");
+        cp_vm::run(&program, &input, &config).steps
+    };
+    let noopt_steps = steps(cp_bytecode::OptLevel::None);
+    let opt_steps = steps(cp_bytecode::OptLevel::Full);
+    println!("executed instructions: {noopt_steps} at -O0, {opt_steps} optimized");
+    assert!(
+        opt_steps < noopt_steps,
+        "optimized code must execute fewer instructions ({opt_steps} >= {noopt_steps})"
+    );
+    emit_with(
+        "long_trace",
+        &results,
+        &[
+            ("executed_steps_noopt", noopt_steps as f64),
+            ("executed_steps_opt", opt_steps as f64),
+        ],
+    );
 }

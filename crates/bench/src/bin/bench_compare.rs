@@ -15,6 +15,10 @@
 //! tails are noise while a >3x median blowup reliably indicates a real
 //! regression.  Cases present in only one document are reported but never
 //! fail the gate (a renamed bench should not mask a regression elsewhere).
+//!
+//! Deterministic instruction-count counters (see `COUNTER_GATED`) are
+//! gated with tighter per-counter thresholds: emitted/executed instruction
+//! growth means an optimizer pass stopped firing, not measurement noise.
 
 use cp_bench::json::{parse, Value};
 
@@ -23,6 +27,17 @@ const GATED: &[(&str, &str)] = &[
     ("long_trace", "long_trace/record"),
     ("translate", "translate/"),
     ("patch", "transfer/"),
+];
+
+/// Gated dimensionless counters: `(bench section, counter name, max ratio)`.
+///
+/// Unlike wall times these are deterministic — instruction counts measure
+/// what the IR optimizer emits and executes — so the thresholds are tight:
+/// a 1.5x growth in emitted or executed instructions means a pass stopped
+/// firing (or a lowering change bloated the output), not noise.
+const COUNTER_GATED: &[(&str, &str, f64)] = &[
+    ("compile", "emitted_instructions_opt", 1.5),
+    ("long_trace", "executed_steps_opt", 1.5),
 ];
 
 fn median_cases(doc: &Value, section: &str, prefix: &str) -> Vec<(String, f64)> {
@@ -103,6 +118,30 @@ fn main() {
         }
     }
 
+    for &(section, counter, max_ratio) in COUNTER_GATED {
+        let base = baseline
+            .get(section)
+            .and_then(|s| s.get(counter))
+            .and_then(Value::as_number);
+        let fresh_value = fresh
+            .get(section)
+            .and_then(|s| s.get(counter))
+            .and_then(Value::as_number);
+        let (Some(base), Some(fresh_value)) = (base, fresh_value) else {
+            println!("counter missing in baseline or fresh run (not gated): {section}/{counter}");
+            continue;
+        };
+        compared += 1;
+        let ratio = if base > 0.0 { fresh_value / base } else { 1.0 };
+        let verdict = if ratio > max_ratio { "REGRESSED" } else { "ok" };
+        println!(
+            "{section:<12} {counter:<40} baseline {base:>16.0}      fresh {fresh_value:>16.0}      {ratio:>6.2}x  {verdict}"
+        );
+        if ratio > max_ratio {
+            regressions.push(format!("{section}/{counter} ({ratio:.2}x)"));
+        }
+    }
+
     if compared == 0 {
         // An empty comparison would pass forever; that is itself a harness
         // regression worth failing on.
@@ -110,10 +149,10 @@ fn main() {
         std::process::exit(1);
     }
     if regressions.is_empty() {
-        println!("\n{compared} gated case(s) within {threshold}x of the baseline p50");
+        println!("\n{compared} gated case(s) within their thresholds of the baseline");
     } else {
         eprintln!(
-            "\n{} p50 regression(s) beyond {threshold}x: {}",
+            "\n{} regression(s) beyond threshold: {}",
             regressions.len(),
             regressions.join(", ")
         );

@@ -1,4 +1,11 @@
-//! AST → bytecode compilation.
+//! Direct AST → bytecode compilation.
+//!
+//! This is the original single-pass tree-walking backend.  The default
+//! pipeline now goes through the `cp-ir` mid-level IR (see [`crate::emit`]);
+//! this module is kept as the *reference backend*: its output defines the
+//! baseline semantics the IR path must reproduce, and the differential tests
+//! compare the two.  Shape-sensitive tests (instruction patterns the optimizer
+//! would rewrite) also target this backend.
 
 use crate::instr::{Instr, Intrinsic};
 use crate::program::{CompiledFunction, CompiledProgram, ParamSlot};
@@ -30,13 +37,17 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
-/// Compiles a type-checked program to bytecode.
+/// Compiles a type-checked program to bytecode with the direct (non-IR)
+/// backend.
+///
+/// Prefer [`crate::compile`], which lowers through the optimizing mid-level
+/// IR; this entry point exists as the reference for differential testing.
 ///
 /// # Errors
 ///
 /// Returns a [`CompileError`] for constructs the bytecode cannot express
 /// (struct-typed parameters, whole-struct assignment).
-pub fn compile(analyzed: &AnalyzedProgram) -> Result<CompiledProgram, CompileError> {
+pub fn compile_direct(analyzed: &AnalyzedProgram) -> Result<CompiledProgram, CompileError> {
     let function_indices: Vec<&str> = analyzed
         .program
         .functions
@@ -135,6 +146,7 @@ fn compile_function(
         returns_value: function.ret.is_some(),
         code: compiler.code,
         stmt_map: compiler.stmt_map,
+        block_starts: vec![],
     })
 }
 
@@ -630,7 +642,7 @@ mod tests {
     use cp_lang::frontend;
 
     fn compile_source(source: &str) -> CompiledProgram {
-        compile(&frontend(source).unwrap()).unwrap()
+        compile_direct(&frontend(source).unwrap()).unwrap()
     }
 
     #[test]
@@ -786,7 +798,7 @@ mod tests {
         "#,
         )
         .unwrap();
-        assert!(compile(&analyzed).is_err());
+        assert!(compile_direct(&analyzed).is_err());
     }
 
     #[test]

@@ -12,13 +12,22 @@
 //! and debug information, which is how the donor side of every experiment is
 //! run; recipients keep their debug information because the paper's insertion
 //! analysis requires it.
+//!
+//! Since the introduction of the `cp-ir` mid-level IR, the default
+//! [`compile`] entry point lowers through the optimizing CFG pipeline (see
+//! [`emit`]); the original single-pass backend survives as
+//! [`compile_direct`](compiler::compile_direct), the reference the
+//! differential tests compare against.
 
 pub mod compiler;
 pub mod disasm;
+pub mod emit;
 pub mod instr;
 pub mod program;
 
-pub use compiler::{compile, CompileError};
+pub use compiler::{compile_direct, CompileError};
+pub use cp_ir::OptLevel;
+pub use emit::{compile, compile_with_opts, CompileOpts};
 pub use instr::{Instr, Intrinsic};
 pub use program::{CompiledFunction, CompiledProgram, ParamSlot};
 

@@ -38,7 +38,7 @@
 //! # Ok::<(), cp_core::PipelineError>(())
 //! ```
 
-use cp_bytecode::{compile, CompileError, CompiledProgram};
+use cp_bytecode::{compile_with_opts, CompileError, CompileOpts, CompiledProgram};
 use cp_formats::FormatDescriptor;
 use cp_lang::{frontend, AnalyzedProgram, LangError};
 use cp_patch::Observation;
@@ -55,6 +55,7 @@ use cp_vm::{
 use std::fmt;
 use std::sync::OnceLock;
 
+pub use cp_bytecode::OptLevel;
 pub use cp_diode::{
     DiscoverConfig, DiscoverOutcome, DiscoverReport, Discovery, PathConstraint, TargetSite,
 };
@@ -66,7 +67,7 @@ pub use cp_solver::translate::{
     Candidate as TranslationCandidate, TranslateError as CheckTranslateError,
     Translation as CheckTranslation,
 };
-pub use cp_taint::TraceRecorder as Recorder;
+pub use cp_taint::{BlockProfile, TraceRecorder as Recorder};
 pub use cp_vm::RunConfig as VmRunConfig;
 
 /// Errors produced while building a session's program.
@@ -181,6 +182,10 @@ pub struct Trace {
     pub termination: Termination,
     /// Instructions executed.
     pub steps: u64,
+    /// Per-basic-block execution counts of the run, derived from statement
+    /// visits through the backend's block debug records.  Empty-ish (raw
+    /// statement counts only) for stripped programs.
+    pub block_profile: BlockProfile,
     /// Lazily built candidate-check list (see [`Trace::checks`]).
     checks: OnceLock<Vec<Check>>,
 }
@@ -296,12 +301,20 @@ impl Trace {
         PathConstraint::from_branches(&self.branches[..upto])
     }
 
+    /// How many times the run executed basic block `block` of function
+    /// `function` (function and block indices of the compiled program).
+    pub fn block_count(&self, function: usize, block: usize) -> u64 {
+        self.block_profile.block_count(function, block)
+    }
+
     /// The slices of this trace the patch insertion planner consumes:
-    /// statement boundaries and recorded variable values.
+    /// statement boundaries, recorded variable values and the run's block
+    /// profile (so the planner can prefer cold insertion sites).
     pub fn observation(&self) -> Observation<'_> {
         Observation {
             stmt_ends: &self.stmt_ends,
             var_values: &self.var_values,
+            profile: Some(&self.block_profile),
         }
     }
 
@@ -342,6 +355,7 @@ pub struct SessionBuilder {
     input: Vec<u8>,
     config: RunConfig,
     strip: bool,
+    opt_level: Option<OptLevel>,
     observers: Vec<Box<dyn Observer>>,
 }
 
@@ -389,6 +403,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the IR optimization level for source builds (default
+    /// [`OptLevel::Full`]).  The `CP_IR_OPT=0` environment variable
+    /// overrides whatever is configured here, as an escape hatch for
+    /// bisecting optimizer-suspected misbehavior without touching code.
+    pub fn opt_level(mut self, opt: OptLevel) -> Self {
+        self.opt_level = Some(opt);
+        self
+    }
+
     /// Registers an additional observer that receives every execution event
     /// alongside the session's own trace recorder.
     pub fn observer(mut self, observer: Box<dyn Observer>) -> Self {
@@ -406,8 +429,12 @@ impl SessionBuilder {
         let (program, analyzed) = match (self.program, self.source) {
             (Some(program), _) => (program, None),
             (None, Some(source)) => {
+                let opt = match std::env::var("CP_IR_OPT") {
+                    Ok(v) if v == "0" => OptLevel::None,
+                    _ => self.opt_level.unwrap_or_default(),
+                };
                 let analyzed = frontend(&source)?;
-                let program = compile(&analyzed)?;
+                let program = compile_with_opts(&analyzed, &CompileOpts { opt })?;
                 (program, Some(analyzed))
             }
             (None, None) => return Err(PipelineError::MissingProgram),
@@ -537,7 +564,8 @@ impl Session {
     /// configured input untouched.
     pub fn record_with_input(&mut self, input: &[u8]) -> Trace {
         let mut recorder = TraceRecorder::new();
-        let mut scopes = ScopeRecorder::new(self.scope_debug());
+        let fn_debug = self.scope_debug();
+        let mut scopes = ScopeRecorder::new(fn_debug.clone());
         let result = {
             let mut fanout = Fanout {
                 recorder: &mut recorder,
@@ -546,6 +574,7 @@ impl Session {
             };
             run_with_observer(&self.program, input, &self.config, &mut fanout)
         };
+        let block_profile = BlockProfile::from_stmt_ends(&recorder.stmt_ends, &fn_debug);
         Trace {
             branches: recorder.branches,
             input_reads: recorder.input_reads,
@@ -556,6 +585,7 @@ impl Session {
             var_values: scopes.var_values,
             termination: result.termination,
             steps: result.steps,
+            block_profile,
             checks: OnceLock::new(),
         }
     }

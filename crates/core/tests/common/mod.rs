@@ -1,0 +1,174 @@
+//! Deterministic random-program generation shared by the corpus-style
+//! integration tests (pretty-printer round trip, IR differential).
+//!
+//! Generated programs are well-typed Phage-C over scalar locals and input
+//! bytes: typed expressions, `if`, bounded `while`, `output`.  No pointers
+//! and no `malloc`, so frame layouts are the only addresses involved and
+//! behavioral comparison across compiler backends is exact.
+
+/// Deterministic xorshift64* stream.
+pub struct Rng(pub u64);
+
+impl Rng {
+    pub fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const TYPES: [&str; 8] = ["u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64"];
+
+struct Generator {
+    rng: Rng,
+    /// In-scope variables: (name, type index).
+    vars: Vec<(String, usize)>,
+    next_var: usize,
+    /// Remaining statement budget.
+    fuel: usize,
+}
+
+impl Generator {
+    /// A well-typed expression of type `TYPES[ty]`.
+    fn expr(&mut self, ty: usize, depth: usize) -> String {
+        let typed_vars: Vec<String> = self
+            .vars
+            .iter()
+            .filter(|(_, t)| *t == ty)
+            .map(|(n, _)| n.clone())
+            .collect();
+        let leaf = depth == 0;
+        match self.rng.below(if leaf { 3 } else { 8 }) {
+            // Literal, explicitly typed.
+            0 => format!("({} as {})", self.rng.below(256), TYPES[ty]),
+            // Input byte, cast to the target type.
+            1 => format!("(input_byte({}) as {})", self.rng.below(6), TYPES[ty]),
+            // Variable of the right type (falls back to a literal).
+            2 => {
+                if typed_vars.is_empty() {
+                    format!("({} as {})", self.rng.below(256), TYPES[ty])
+                } else {
+                    let i = self.rng.below(typed_vars.len() as u64) as usize;
+                    typed_vars[i].clone()
+                }
+            }
+            // Arithmetic / bitwise / shift of same-typed operands.
+            3 | 4 => {
+                let op = ["+", "-", "*", "&", "|", "^", "<<", ">>", "/", "%"]
+                    [self.rng.below(10) as usize];
+                let lhs = self.expr(ty, depth - 1);
+                let rhs = self.expr(ty, depth - 1);
+                format!("({lhs} {op} {rhs})")
+            }
+            // Unary.
+            5 => {
+                let op = ["-", "~"][self.rng.below(2) as usize];
+                format!("({op}({}))", self.expr(ty, depth - 1))
+            }
+            // Comparison (u32 in Phage-C), cast to the target type.
+            6 => {
+                let other = self.rng.below(TYPES.len() as u64) as usize;
+                let op = ["==", "!=", "<", "<=", ">", ">="][self.rng.below(6) as usize];
+                let lhs = self.expr(other, depth - 1);
+                let rhs = self.expr(other, depth - 1);
+                format!("((({lhs} {op} {rhs})) as {})", TYPES[ty])
+            }
+            // Cast from another integer type.
+            _ => {
+                let other = self.rng.below(TYPES.len() as u64) as usize;
+                format!("({} as {})", self.expr(other, depth - 1), TYPES[ty])
+            }
+        }
+    }
+
+    fn block(&mut self, out: &mut String, indent: usize, nesting: usize) {
+        let pad = "    ".repeat(indent);
+        let stmts = 1 + self.rng.below(4);
+        for _ in 0..stmts {
+            if self.fuel == 0 {
+                return;
+            }
+            self.fuel -= 1;
+            match self.rng.below(10) {
+                // Fresh variable declaration.
+                0..=3 => {
+                    let ty = self.rng.below(TYPES.len() as u64) as usize;
+                    let name = format!("v{}", self.next_var);
+                    self.next_var += 1;
+                    let init = self.expr(ty, 2);
+                    out.push_str(&format!("{pad}var {name}: {} = {init};\n", TYPES[ty]));
+                    self.vars.push((name, ty));
+                }
+                // Reassignment.
+                4 | 5 => {
+                    if let Some(i) = (!self.vars.is_empty())
+                        .then(|| self.rng.below(self.vars.len() as u64) as usize)
+                    {
+                        let (name, ty) = self.vars[i].clone();
+                        let value = self.expr(ty, 2);
+                        out.push_str(&format!("{pad}{name} = {value};\n"));
+                    }
+                }
+                // Output.
+                6 | 7 => {
+                    let ty = self.rng.below(TYPES.len() as u64) as usize;
+                    let value = self.expr(ty, 1);
+                    out.push_str(&format!("{pad}output(({value}) as u64);\n"));
+                }
+                // Conditional (bounded nesting).
+                8 if nesting > 0 => {
+                    let ty = self.rng.below(TYPES.len() as u64) as usize;
+                    let cond = format!("({} < {})", self.expr(ty, 1), self.expr(ty, 1));
+                    out.push_str(&format!("{pad}if ({cond}) {{\n"));
+                    // Declarations inside the branch stay local to this
+                    // generator scope so later statements don't reference
+                    // variables Phage-C would consider conditionally
+                    // assigned; restore the environment afterwards.
+                    let saved = self.vars.len();
+                    self.block(out, indent + 1, nesting - 1);
+                    self.vars.truncate(saved);
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+                // Bounded loop over a fresh counter.
+                _ if nesting > 0 => {
+                    let counter = format!("v{}", self.next_var);
+                    self.next_var += 1;
+                    let bound = 1 + self.rng.below(5);
+                    out.push_str(&format!("{pad}var {counter}: u32 = 0;\n"));
+                    out.push_str(&format!("{pad}while ({counter} < {bound}) {{\n"));
+                    let saved = self.vars.len();
+                    self.block(out, indent + 1, nesting - 1);
+                    self.vars.truncate(saved);
+                    out.push_str(&format!("{pad}    {counter} = {counter} + 1;\n"));
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// A deterministic well-typed `main`-only Phage-C program for `seed`.
+pub fn program(seed: u64) -> String {
+    let mut generator = Generator {
+        rng: Rng(seed | 1),
+        vars: Vec::new(),
+        next_var: 0,
+        fuel: 24,
+    };
+    let mut body = String::new();
+    generator.block(&mut body, 1, 2);
+    let ret = if generator.vars.is_empty() {
+        "(0 as u32)".to_string()
+    } else {
+        let i = generator.rng.below(generator.vars.len() as u64) as usize;
+        let (name, _) = generator.vars[i].clone();
+        format!("({name} as u32)")
+    };
+    format!("fn main() -> u32 {{\n{body}    return {ret};\n}}\n")
+}

@@ -8,19 +8,26 @@
 //! variable-value records say which variable held which symbolic value at
 //! which point.
 //!
-//! [`plan`] intersects the two: for each candidate site (earliest first, as
-//! the paper prefers rejecting the input before the error can propagate) it
-//! tries to choose, for every donor field, a proved binding whose variable
-//! is available at that site — available meaning the *most recent* recorded
-//! value of that variable at or before the site is the proved expression,
-//! so a later reassignment invalidates earlier bindings.  Every complete
-//! choice becomes a [`PlannedPatch`]; the validation engine then arbitrates
-//! among plans by actually recompiling and running.
+//! [`plan`] intersects the two: for each candidate site it tries to choose,
+//! for every donor field, a proved binding whose variable is available at
+//! that site — available meaning the *most recent* recorded value of that
+//! variable at or before the site is the proved expression, so a later
+//! reassignment invalidates earlier bindings.  Every complete choice becomes
+//! a [`PlannedPatch`]; the validation engine then arbitrates among plans by
+//! actually recompiling and running.
+//!
+//! Sites are ranked by observed execution frequency when the observation
+//! carries a [`BlockProfile`]: a guard at a site executed once costs one
+//! check per run, while the same guard inside a 10k-iteration parse loop
+//! costs 10k — so among viable sites the planner prefers the coldest block,
+//! breaking ties by first-execution order (the paper's earliest-dominating
+//! preference, which rejects the input before the error can propagate).
+//! Without a profile the pure first-execution order is kept.
 
 use cp_lang::{DebugInfo, Type};
 use cp_solver::translate::{Candidate, MultiTranslation};
 use cp_symexpr::ExprRef;
-use cp_taint::VarValueRecord;
+use cp_taint::{BlockProfile, VarValueRecord};
 use cp_vm::StmtEndEvent;
 use std::collections::HashMap;
 
@@ -91,6 +98,9 @@ pub struct Observation<'a> {
     pub stmt_ends: &'a [StmtEndEvent],
     /// Tainted variable values at statement boundaries.
     pub var_values: &'a [VarValueRecord],
+    /// Per-block execution counts of the run, when block debug information
+    /// was available; lets [`plan`] rank sites by observed frequency.
+    pub profile: Option<&'a BlockProfile>,
 }
 
 /// Translation material extracted from the observation: deduplicated
@@ -229,9 +239,11 @@ pub fn enumerate_sites(obs: &Observation<'_>, fn_names: &[Option<String>]) -> Ve
 /// A site is viable when every donor field has at least one proved binding
 /// whose variable is available there; among a field's viable bindings the
 /// first (smallest replacement, by the translator's ordering) is chosen.
-/// Sites are emitted in first-execution order — the earliest dominating
-/// site, which rejects the input before the error propagates, comes first —
-/// and at most `max_plans` plans are returned.
+/// When the observation carries a block profile, sites are ranked coldest
+/// block first (fewest observed executions), ties broken by first-execution
+/// order; without a profile, pure first-execution order is used — the
+/// earliest dominating site, which rejects the input before the error
+/// propagates, comes first.  At most `max_plans` plans are returned.
 pub fn plan(
     translation: &MultiTranslation,
     table: &VarTable,
@@ -239,7 +251,10 @@ pub fn plan(
     fn_names: &[Option<String>],
     max_plans: usize,
 ) -> Vec<PlannedPatch> {
-    let sites = enumerate_sites(obs, fn_names);
+    let mut sites = enumerate_sites(obs, fn_names);
+    if let Some(profile) = obs.profile {
+        sites.sort_by_key(|site| (profile.site_frequency(site.function, site.stmt), site.order));
+    }
     let mut plans = Vec::new();
     for site in sites {
         let mut bindings = Vec::with_capacity(translation.fields.len());
@@ -312,6 +327,7 @@ mod tests {
                     .collect(),
                 num_params: 0,
                 num_statements: vars.len() + 1,
+                blocks: Vec::new(),
             },
         );
         debug
@@ -351,6 +367,7 @@ mod tests {
         let obs = Observation {
             stmt_ends: &ends,
             var_values: &values,
+            profile: None,
         };
         let table = VarTable::from_observation(&values, &debug, &fn_names);
 
@@ -387,6 +404,7 @@ mod tests {
         let obs = Observation {
             stmt_ends: &ends,
             var_values: &values,
+            profile: None,
         };
         let table = VarTable::from_observation(&values, &debug, &fn_names);
 
@@ -415,6 +433,7 @@ mod tests {
         let obs = Observation {
             stmt_ends: &ends,
             var_values: &values,
+            profile: None,
         };
         let table = VarTable::from_observation(&values, &debug, &fn_names);
         let f = SymExpr::field("/hdr/w", Width::W16, vec![0, 1]);
@@ -430,11 +449,63 @@ mod tests {
         let obs = Observation {
             stmt_ends: &ends,
             var_values: &consistent,
+            profile: None,
         };
         let translation = Translator::default()
             .translate_all(&cond, &table.candidates)
             .expect("translates");
         assert_eq!(plan(&translation, &table, &obs, &fn_names, 8).len(), 1);
+    }
+
+    #[test]
+    fn profile_ranks_cold_sites_before_hot_ones() {
+        // One variable, viable at two sites: stmt 0 sits in a block executed
+        // ten times (a loop), stmt 1 in a block executed once.  With a
+        // profile the planner puts the cold site first; without one it keeps
+        // first-execution order.
+        let value = be16(0, 1);
+        let mut debug = debug_with_vars(&[("v", Type::U16)]);
+        debug.functions.get_mut("main").unwrap().blocks = vec![
+            cp_lang::BlockDebug {
+                stmts: vec![0],
+                succs: vec![0, 1],
+            },
+            cp_lang::BlockDebug {
+                stmts: vec![1],
+                succs: vec![],
+            },
+        ];
+        let fn_names = vec![Some("main".to_string())];
+        let values = vec![record(0, "v", value)];
+        let mut ends = vec![stmt_end(0); 10];
+        ends.push(stmt_end(1));
+        let profile = BlockProfile::from_stmt_ends(&ends, &[Some(debug.functions["main"].clone())]);
+        let table = VarTable::from_observation(&values, &debug, &fn_names);
+        let f = SymExpr::field("/hdr/w", Width::W16, vec![0, 1]);
+        let cond = f.binop(BinOp::LeU, SymExpr::constant(Width::W16, 5));
+        let translation = Translator::default()
+            .translate_all(&cond, &table.candidates)
+            .expect("translates");
+
+        let with_profile = Observation {
+            stmt_ends: &ends,
+            var_values: &values,
+            profile: Some(&profile),
+        };
+        let plans = plan(&translation, &table, &with_profile, &fn_names, 8);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].site.stmt, 1, "cold site ranks first");
+        assert_eq!(plans[1].site.stmt, 0);
+
+        let without_profile = Observation {
+            profile: None,
+            ..with_profile
+        };
+        let plans = plan(&translation, &table, &without_profile, &fn_names, 8);
+        assert_eq!(
+            plans[0].site.stmt, 0,
+            "first-execution order without profile"
+        );
     }
 
     #[test]
@@ -455,6 +526,7 @@ mod tests {
         let obs = Observation {
             stmt_ends: &ends,
             var_values: &values,
+            profile: None,
         };
         let table = VarTable::from_observation(&values, &debug, &fn_names);
 

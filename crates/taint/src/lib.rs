@@ -169,6 +169,84 @@ impl Observer for TraceRecorder {
     }
 }
 
+/// Per-basic-block execution counts derived from a recorded trace.
+///
+/// The bytecode backend attributes every statement to the basic block whose
+/// body contains its `StmtEnd` marker ([`cp_lang::BlockDebug`]); since a
+/// block is straight-line code, every statement of a block executes equally
+/// often, so the visit count of any one statement *is* the block's execution
+/// count.  The patch planner uses these frequencies to prefer an insertion
+/// site executed once over one buried in a hot loop.
+#[derive(Debug, Default, Clone)]
+pub struct BlockProfile {
+    /// `(function index, stmt id)` → number of recorded visits.
+    stmt_visits: HashMap<(usize, usize), u64>,
+    /// `(function index, stmt id)` → block id, from debug information.
+    stmt_blocks: HashMap<(usize, usize), usize>,
+    /// `(function index, block id)` → execution count.
+    block_counts: HashMap<(usize, usize), u64>,
+}
+
+impl BlockProfile {
+    /// Builds a profile from a run's statement-boundary events and the
+    /// per-function-index debug records (`None` where debug info is absent).
+    pub fn from_stmt_ends(
+        stmt_ends: &[StmtEndEvent],
+        functions: &[Option<FunctionDebug>],
+    ) -> BlockProfile {
+        let mut profile = BlockProfile::default();
+        for (index, debug) in functions.iter().enumerate() {
+            let Some(debug) = debug else { continue };
+            for (block, info) in debug.blocks.iter().enumerate() {
+                for &stmt in &info.stmts {
+                    profile.stmt_blocks.insert((index, stmt), block);
+                }
+            }
+        }
+        for event in stmt_ends {
+            *profile
+                .stmt_visits
+                .entry((event.function, event.stmt))
+                .or_insert(0) += 1;
+        }
+        for (&(function, stmt), &visits) in &profile.stmt_visits {
+            if let Some(&block) = profile.stmt_blocks.get(&(function, stmt)) {
+                let count = profile.block_counts.entry((function, block)).or_insert(0);
+                *count = (*count).max(visits);
+            }
+        }
+        profile
+    }
+
+    /// The block containing statement `stmt` of function `function`, if the
+    /// backend recorded block information.
+    pub fn block_of(&self, function: usize, stmt: usize) -> Option<usize> {
+        self.stmt_blocks.get(&(function, stmt)).copied()
+    }
+
+    /// Execution count of a block.
+    pub fn block_count(&self, function: usize, block: usize) -> u64 {
+        self.block_counts
+            .get(&(function, block))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// How often the candidate site "after statement `stmt`" would execute:
+    /// its block's execution count, falling back to the raw statement visit
+    /// count when no block information is available.
+    pub fn site_frequency(&self, function: usize, stmt: usize) -> u64 {
+        match self.block_of(function, stmt) {
+            Some(block) => self.block_count(function, block),
+            None => self
+                .stmt_visits
+                .get(&(function, stmt))
+                .copied()
+                .unwrap_or(0),
+        }
+    }
+}
+
 /// An owned record of a scalar variable's tainted value at a statement
 /// boundary: the recipient-side namespace the paper's translation targets
 /// ("the debug information gives the variables in scope", Section 3.3).
@@ -420,6 +498,43 @@ mod tests {
         assert_eq!(recorder.allocs.len(), 2);
         assert_eq!(recorder.allocs[0].branches_before, 0);
         assert_eq!(recorder.allocs[1].branches_before, 1);
+    }
+
+    #[test]
+    fn block_profile_counts_loop_blocks() {
+        let program = compile(
+            &frontend(
+                r#"
+                fn main() -> u32 {
+                    var i: u32 = 0;
+                    while (i < 5) { i = i + 1; }
+                    output(i as u64);
+                    return i;
+                }
+                "#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut recorder = TraceRecorder::new();
+        run_with_observer(&program, &[], &RunConfig::default(), &mut recorder);
+        let debug = program.debug.clone().expect("unstripped");
+        let functions: Vec<Option<FunctionDebug>> = program
+            .functions
+            .iter()
+            .map(|f| {
+                f.name
+                    .as_deref()
+                    .and_then(|name| debug.functions.get(name).cloned())
+            })
+            .collect();
+        let profile = BlockProfile::from_stmt_ends(&recorder.stmt_ends, &functions);
+        // The loop-body assignment (stmt 2) runs five times; the post-loop
+        // output (stmt 3) runs once, in a different block.
+        assert_eq!(profile.site_frequency(0, 2), 5);
+        assert_eq!(profile.site_frequency(0, 3), 1);
+        assert_ne!(profile.block_of(0, 2), profile.block_of(0, 3));
+        assert!(profile.block_of(0, 2).is_some());
     }
 
     #[test]
