@@ -17,7 +17,7 @@ fn main() {
 
     for scenario in cp_corpus::scenarios() {
         let m = bench(&format!("transfer/{}", scenario.name), 2, 10, || {
-            let outcome = run_scenario(&scenario).expect("corpus builds");
+            let outcome = run_scenario(&scenario);
             assert!(outcome.validated(), "{}", scenario.name);
             outcome
         });
@@ -30,10 +30,7 @@ fn main() {
         // One full run to obtain the accepted patch, then re-validate it
         // repeatedly: apply, pretty-print, re-analyze, recompile, run the
         // error input and the whole benign corpus.
-        let outcome = run_scenario(&scenario)
-            .expect("corpus builds")
-            .result
-            .expect("corpus validates");
+        let outcome = run_scenario(&scenario).result.expect("corpus validates");
         let analyzed = frontend(scenario.source).expect("recipient builds");
         let program = compile(&analyzed).expect("recipient compiles");
         let config = RunConfig::default();

@@ -38,6 +38,12 @@ const GATED: &[(&str, &str)] = &[
 const COUNTER_GATED: &[(&str, &str, f64)] = &[
     ("compile", "emitted_instructions_opt", 1.5),
     ("long_trace", "executed_steps_opt", 1.5),
+    // The budget layer's worst per-scenario p50 overhead ratio on recording
+    // (guarded / raw).  The baseline sits at ~1.0x (stage-boundary checks
+    // only); a fresh/baseline ratio beyond 1.5x means budget checks crept
+    // into a per-instruction path.  The <5% absolute bound itself is
+    // asserted inside `benches/budgets.rs` on full (non-quick) runs.
+    ("budgets", "record_overhead_p50_worst", 1.5),
 ];
 
 fn median_cases(doc: &Value, section: &str, prefix: &str) -> Vec<(String, f64)> {

@@ -6,6 +6,13 @@
 //! corpus size and the validation verdict (including the accepted patch
 //! itself).
 //!
+//! Each row carries a `status` column: `ok`, `degraded` (the patch
+//! validated but a recoverable stage failure forced a fallback, e.g.
+//! discovery exhausted its budget and the hand-written error input was
+//! used) or `failed` (no validated patch; the detail column carries the
+//! typed stage error).  The sweep itself never aborts: `run_all` isolates
+//! every scenario, so one poisoned scenario is one `failed` row.
+//!
 //! `--check` exits non-zero unless every scenario validates, which is how
 //! the CI `fig8` job gates regressions in the end-to-end path.  `--discover`
 //! additionally requires every overflow-into-allocation scenario to have
@@ -26,6 +33,15 @@ fn main() {
         .filter(|o| !o.validated())
         .map(|o| o.scenario.name.to_string())
         .collect();
+    let degraded = outcomes
+        .iter()
+        .filter(|o| {
+            matches!(
+                o.status,
+                cp_corpus::pipeline::ScenarioStatus::Degraded { .. }
+            )
+        })
+        .count();
 
     if discover {
         println!();
@@ -67,7 +83,14 @@ fn main() {
     }
 
     if failed.is_empty() {
-        println!("\nall {} scenarios validated", outcomes.len());
+        if degraded > 0 {
+            println!(
+                "\nall {} scenarios validated ({degraded} degraded)",
+                outcomes.len()
+            );
+        } else {
+            println!("\nall {} scenarios validated", outcomes.len());
+        }
     } else {
         println!(
             "\n{} scenario(s) failed: {}",

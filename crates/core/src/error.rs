@@ -1,0 +1,245 @@
+//! The workspace-wide structured error taxonomy for batch runs.
+//!
+//! Library crates report their own precise error types (`LangError`,
+//! `VmError`, `TransferError`, …); a *batch* runner needs one shape it can
+//! store in a result row, render in a table, and gate CI policy on.
+//! [`StageError`] is that shape: which scenario, which stage, and a rendered
+//! reason — plus typed payloads for the two cases policy cares about
+//! ([`StageError::Budget`] exhaustion and [`StageError::Panic`] isolation).
+//!
+//! Nothing in the pipeline panics *on purpose* anymore; `catch_unwind`
+//! isolation in `cp_corpus::pipeline::run_all` converts anything that still
+//! does into a `StageError::Panic` row so one poisoned scenario can never
+//! kill a sweep.
+
+use crate::budget::{BudgetExhausted, Stage};
+use std::fmt;
+
+/// A scenario-scoped failure, attributed to the pipeline stage it occurred
+/// in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageError {
+    /// The Phage-C front end or bytecode compiler rejected a program.
+    Frontend {
+        /// The scenario being swept.
+        scenario: String,
+        /// The rendered front-end / compiler diagnostic.
+        detail: String,
+    },
+    /// Instrumented execution failed for a non-application reason (resource
+    /// exhaustion inside the VM rather than a detected program error).
+    Vm {
+        /// The scenario being swept.
+        scenario: String,
+        /// The rendered VM fault.
+        detail: String,
+    },
+    /// An equivalence / satisfiability query failed structurally (solver
+    /// `Unknown`s are *not* errors — they degrade to skipped bindings).
+    Solver {
+        /// The scenario being swept.
+        scenario: String,
+        /// The rendered solver failure.
+        detail: String,
+    },
+    /// Goal-directed discovery could not derive an error input.
+    Discovery {
+        /// The scenario being swept.
+        scenario: String,
+        /// The rendered search summary.
+        detail: String,
+    },
+    /// Translation, planning or guard lowering failed.
+    Patch {
+        /// The scenario being swept.
+        scenario: String,
+        /// The rendered transfer failure.
+        detail: String,
+    },
+    /// Behavioral validation rejected every candidate patch.
+    Validation {
+        /// The scenario being swept.
+        scenario: String,
+        /// The rendered validation failure.
+        detail: String,
+    },
+    /// A stage ran into its configured resource ceiling.
+    Budget {
+        /// The scenario being swept.
+        scenario: String,
+        /// The typed exhaustion record.
+        exhausted: BudgetExhausted,
+    },
+    /// The scenario panicked and was isolated by the batch runner.
+    Panic {
+        /// The scenario being swept.
+        scenario: String,
+        /// The rendered panic payload.
+        detail: String,
+    },
+}
+
+impl StageError {
+    /// Builds a frontend error from anything renderable.
+    pub fn frontend(scenario: &str, detail: impl fmt::Display) -> Self {
+        StageError::Frontend {
+            scenario: scenario.into(),
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Builds a VM-stage error from anything renderable.
+    pub fn vm(scenario: &str, detail: impl fmt::Display) -> Self {
+        StageError::Vm {
+            scenario: scenario.into(),
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Builds a solver-stage error from anything renderable.
+    pub fn solver(scenario: &str, detail: impl fmt::Display) -> Self {
+        StageError::Solver {
+            scenario: scenario.into(),
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Builds a discovery-stage error from anything renderable.
+    pub fn discovery(scenario: &str, detail: impl fmt::Display) -> Self {
+        StageError::Discovery {
+            scenario: scenario.into(),
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Builds a patch-stage error from anything renderable.
+    pub fn patch(scenario: &str, detail: impl fmt::Display) -> Self {
+        StageError::Patch {
+            scenario: scenario.into(),
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Builds a validation-stage error from anything renderable.
+    pub fn validation(scenario: &str, detail: impl fmt::Display) -> Self {
+        StageError::Validation {
+            scenario: scenario.into(),
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Wraps a typed budget exhaustion.
+    pub fn budget(scenario: &str, exhausted: BudgetExhausted) -> Self {
+        StageError::Budget {
+            scenario: scenario.into(),
+            exhausted,
+        }
+    }
+
+    /// Builds a panic-isolation error from a caught unwind payload.
+    pub fn panic(scenario: &str, payload: &(dyn std::any::Any + Send)) -> Self {
+        let detail = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        StageError::Panic {
+            scenario: scenario.into(),
+            detail,
+        }
+    }
+
+    /// The scenario this error is attributed to.
+    pub fn scenario(&self) -> &str {
+        match self {
+            StageError::Frontend { scenario, .. }
+            | StageError::Vm { scenario, .. }
+            | StageError::Solver { scenario, .. }
+            | StageError::Discovery { scenario, .. }
+            | StageError::Patch { scenario, .. }
+            | StageError::Validation { scenario, .. }
+            | StageError::Budget { scenario, .. }
+            | StageError::Panic { scenario, .. } => scenario,
+        }
+    }
+
+    /// The stage the error is attributed to, when it maps onto one
+    /// ([`StageError::Panic`] does not — the unwind may have started
+    /// anywhere).
+    pub fn stage(&self) -> Option<Stage> {
+        match self {
+            StageError::Frontend { .. } => Some(Stage::Frontend),
+            StageError::Vm { .. } => Some(Stage::Vm),
+            StageError::Solver { .. } => Some(Stage::Solver),
+            StageError::Discovery { .. } => Some(Stage::Discovery),
+            StageError::Patch { .. } => Some(Stage::Patch),
+            StageError::Validation { .. } => Some(Stage::Validation),
+            StageError::Budget { exhausted, .. } => Some(exhausted.stage),
+            StageError::Panic { .. } => None,
+        }
+    }
+
+    /// The rendered reason, without the scenario/stage prefix.
+    pub fn detail(&self) -> String {
+        match self {
+            StageError::Frontend { detail, .. }
+            | StageError::Vm { detail, .. }
+            | StageError::Solver { detail, .. }
+            | StageError::Discovery { detail, .. }
+            | StageError::Patch { detail, .. }
+            | StageError::Validation { detail, .. }
+            | StageError::Panic { detail, .. } => detail.clone(),
+            StageError::Budget { exhausted, .. } => exhausted.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.stage() {
+            Some(stage) => stage.to_string(),
+            None => "panic".into(),
+        };
+        write!(f, "[{} / {stage}] {}", self.scenario(), self.detail())
+    }
+}
+
+impl std::error::Error for StageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_includes_scenario_and_stage() {
+        let err = StageError::discovery("png-ihdr", "no target reachable");
+        assert_eq!(err.scenario(), "png-ihdr");
+        assert_eq!(err.stage(), Some(Stage::Discovery));
+        assert_eq!(
+            err.to_string(),
+            "[png-ihdr / discovery] no target reachable"
+        );
+    }
+
+    #[test]
+    fn budget_errors_carry_the_typed_exhaustion() {
+        let err = StageError::budget(
+            "s",
+            BudgetExhausted {
+                stage: Stage::Vm,
+                limit: 500,
+            },
+        );
+        assert_eq!(err.stage(), Some(Stage::Vm));
+        assert_eq!(err.to_string(), "[s / vm] vm budget exhausted (limit 500)");
+    }
+
+    #[test]
+    fn panic_payloads_downcast_to_text() {
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("boom".to_string());
+        let err = StageError::panic("s", boxed.as_ref());
+        assert_eq!(err.detail(), "boom");
+        assert_eq!(err.stage(), None);
+        assert_eq!(err.to_string(), "[s / panic] boom");
+    }
+}

@@ -38,12 +38,19 @@
 //! # Ok::<(), cp_core::PipelineError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod budget;
+pub mod error;
+pub mod faults;
+
 use cp_bytecode::{compile_with_opts, CompileError, CompileOpts, CompiledProgram};
 use cp_formats::FormatDescriptor;
 use cp_lang::{frontend, AnalyzedProgram, LangError};
 use cp_patch::Observation;
 use cp_solver::translate::{Candidate, TranslateError, Translation, Translator};
-use cp_symexpr::{rewrite, ExprRef};
+use cp_solver::Solver;
+use cp_symexpr::{rewrite, ExprArena, ExprRef};
 use cp_taint::{
     AllocRecord, BranchRecord, CallRecord, InputReadRecord, ScopeRecorder, TraceRecorder,
     VarValueRecord,
@@ -55,6 +62,7 @@ use cp_vm::{
 use std::fmt;
 use std::sync::OnceLock;
 
+pub use budget::{BudgetExhausted, Budgets, Stage};
 pub use cp_bytecode::OptLevel;
 pub use cp_diode::{
     DiscoverConfig, DiscoverOutcome, DiscoverReport, Discovery, PathConstraint, TargetSite,
@@ -67,8 +75,10 @@ pub use cp_solver::translate::{
     Candidate as TranslationCandidate, TranslateError as CheckTranslateError,
     Translation as CheckTranslation,
 };
+pub use cp_solver::SolverBudgets;
 pub use cp_taint::{BlockProfile, TraceRecorder as Recorder};
 pub use cp_vm::RunConfig as VmRunConfig;
+pub use error::StageError;
 
 /// Errors produced while building a session's program.
 ///
@@ -354,6 +364,7 @@ pub struct SessionBuilder {
     program: Option<CompiledProgram>,
     input: Vec<u8>,
     config: RunConfig,
+    budgets: Option<Budgets>,
     strip: bool,
     opt_level: Option<OptLevel>,
     observers: Vec<Box<dyn Observer>>,
@@ -393,6 +404,20 @@ impl SessionBuilder {
     /// Caps the size of a single heap allocation (default 1 GiB).
     pub fn max_alloc(mut self, bytes: u64) -> Self {
         self.config.max_alloc = bytes;
+        self
+    }
+
+    /// Installs the session's per-stage resource budgets (see
+    /// [`budget::Budgets`]).
+    ///
+    /// The VM step ceiling applies immediately (a later
+    /// [`max_steps`](Self::max_steps) call overrides it); the solver,
+    /// discovery, validation and wall-clock ceilings propagate into
+    /// [`Session::discover`] and [`Session::transfer`], and the deadline is
+    /// armed when the session is built.
+    pub fn budgets(mut self, budgets: Budgets) -> Self {
+        self.config.max_steps = budgets.vm_steps;
+        self.budgets = Some(budgets);
         self
     }
 
@@ -445,11 +470,14 @@ impl SessionBuilder {
         } else {
             (program, analyzed)
         };
+        let budgets = self.budgets.unwrap_or_default();
         Ok(Session {
             program,
             analyzed,
             input: self.input,
             config: self.config,
+            budgets,
+            deadline: budget::Deadline::starting_now(budgets.deadline),
             observers: self.observers,
         })
     }
@@ -476,6 +504,8 @@ pub struct Session {
     analyzed: Option<AnalyzedProgram>,
     input: Vec<u8>,
     config: RunConfig,
+    budgets: Budgets,
+    deadline: budget::Deadline,
     observers: Vec<Box<dyn Observer>>,
 }
 
@@ -494,6 +524,21 @@ impl Session {
     /// (and not stripped) — the AST a patch applies to.
     pub fn analyzed(&self) -> Option<&AnalyzedProgram> {
         self.analyzed.as_ref()
+    }
+
+    /// The per-stage budgets the session honours.
+    pub fn budgets(&self) -> &Budgets {
+        &self.budgets
+    }
+
+    /// Errors if the session's wall-clock deadline has passed, attributing
+    /// the exhaustion to `stage`.
+    ///
+    /// The deadline is checked at stage boundaries (here and inside
+    /// [`record_guarded`](Self::record_guarded)), never per instruction, so
+    /// the budget layer costs nothing on the execution hot path.
+    pub fn check_deadline(&self, stage: Stage) -> Result<(), BudgetExhausted> {
+        self.deadline.check(stage)
     }
 
     /// Runs the full transfer pipeline: translate the donor check into this
@@ -521,10 +566,36 @@ impl Session {
         if self.analyzed.is_none() {
             return Err(TransferError::MissingSource);
         }
+        let spec = self.configure_spec(spec.clone());
         let trace = self.record_with_input(spec.error_input);
         let analyzed = self.analyzed.as_ref().expect("checked above");
         let folded = format.fold(&donor.condition());
-        cp_patch::transfer(analyzed, &folded, &trace.observation(), spec)
+        cp_patch::transfer(analyzed, &folded, &trace.observation(), &spec)
+    }
+
+    /// Applies the session's budgets (and any armed chaos faults) to a
+    /// transfer spec: the solver bundle configures the translation decision
+    /// procedure and the recompile ceiling caps validation spend.
+    ///
+    /// [`transfer`](Self::transfer) does this internally; batch runners that
+    /// call `cp_patch::transfer` directly (to reuse one recorded trace
+    /// across many donor checks) should pass their spec through here first
+    /// so session budgets still apply.
+    pub fn configure_spec<'a>(&self, mut spec: TransferSpec<'a>) -> TransferSpec<'a> {
+        let mut solver_budgets = self.budgets.solver;
+        if faults::fires(faults::FaultPoint::SolverBudget) {
+            solver_budgets = SolverBudgets::starved();
+        }
+        spec.translator = Translator {
+            solver: Solver::with_budgets(solver_budgets),
+        };
+        spec.max_recompiles = spec.max_recompiles.min(self.budgets.validation_recompiles);
+        if faults::fires(faults::FaultPoint::ValidationRecompile) {
+            // One recompile covers the baseline; the first candidate
+            // validation then trips the budget mid-validation.
+            spec.max_recompiles = spec.max_recompiles.min(1);
+        }
+        spec
     }
 
     /// Goal-directed error discovery (the paper's DIODE companion tool):
@@ -542,7 +613,19 @@ impl Session {
     /// unsatisfiable the search flips one path constraint at a time (a
     /// bounded generational search; see [`cp_diode::discover`]).
     pub fn discover(&mut self, benign: &[u8], config: &DiscoverConfig) -> DiscoverOutcome {
-        cp_diode::discover(benign, config, |input| {
+        let mut config = *config;
+        config.max_executions = config.max_executions.min(self.budgets.discovery_executions);
+        // The session's gate/conflict/exhaustive ceilings apply; the sample
+        // count stays the discovery config's own (it is tied to the config's
+        // seed stream, not to translation's).
+        config.solver_budgets = SolverBudgets {
+            samples: config.solver_budgets.samples,
+            ..self.budgets.solver
+        };
+        if faults::fires(faults::FaultPoint::SolverBudget) {
+            config.solver_budgets = SolverBudgets::starved();
+        }
+        cp_diode::discover(benign, &config, |input| {
             let trace = self.record_with_input(input);
             cp_diode::ObservedRun {
                 error: trace.last_error().cloned(),
@@ -558,6 +641,50 @@ impl Session {
         let trace = self.record_with_input(&input);
         self.input = input;
         trace
+    }
+
+    /// Records one instrumented execution, converting resource exhaustion
+    /// into the typed [`BudgetExhausted`] outcome.
+    ///
+    /// Unlike [`record_with_input`](Self::record_with_input) — which treats
+    /// every termination as material (crash traces *are* the donor
+    /// analysis) — this entry point distinguishes the program's own faults
+    /// from the session running out of resources: a step-limit trip, an
+    /// expired wall-clock deadline, or an expression arena past its
+    /// configured node ceiling all return `Err(BudgetExhausted { stage:
+    /// Vm, .. })` with the ceiling that was hit.  Application errors
+    /// (overflow, out-of-bounds, divide-by-zero…) still come back as
+    /// `Ok(trace)`.
+    pub fn record_guarded(&mut self, input: &[u8]) -> Result<Trace, BudgetExhausted> {
+        self.deadline.check(Stage::Vm)?;
+        let configured = self.config.max_steps;
+        if faults::fires(faults::FaultPoint::VmStepLimit) {
+            self.config.max_steps = configured.min(faults::VM_STEP_CLAMP);
+        }
+        let limit = self.config.max_steps;
+        let trace = self.record_with_input(input);
+        self.config.max_steps = configured;
+        if trace.last_error() == Some(&VmError::StepLimitExceeded) {
+            return Err(BudgetExhausted {
+                stage: Stage::Vm,
+                limit,
+            });
+        }
+        let arena_cap = if faults::fires(faults::FaultPoint::ArenaPressure) {
+            Some(0)
+        } else {
+            self.budgets.arena_nodes
+        };
+        if let Some(cap) = arena_cap {
+            let nodes = ExprArena::node_count() as u64;
+            if nodes > cap {
+                return Err(BudgetExhausted {
+                    stage: Stage::Vm,
+                    limit: cap,
+                });
+            }
+        }
+        Ok(trace)
     }
 
     /// Records one instrumented execution on an explicit input, leaving the

@@ -1,0 +1,94 @@
+//! Budget-layer tests: resource exhaustion surfaces as the typed
+//! `BudgetExhausted` outcome — never a hang, never a panic.
+
+use cp_core::{Budgets, Session, Stage};
+use std::time::Duration;
+
+/// A recipient that never terminates on its own: the loop counter wraps
+/// around `u64` forever.  Only the VM step ceiling can stop it.
+const UNBOUNDED_LOOP: &str = r#"
+    fn main() -> u32 {
+        var i: u64 = input_byte(0) as u64;
+        var sum: u64 = 0;
+        while (i < 18446744073709551615) {
+            sum = sum + i;
+            i = i + 1;
+            if (i == 18446744073709551615) { i = 0; }
+        }
+        return sum as u32;
+    }
+"#;
+
+#[test]
+fn unbounded_loop_exhausts_the_vm_step_budget_instead_of_hanging() {
+    let mut session = Session::builder()
+        .source(UNBOUNDED_LOOP)
+        .budgets(Budgets::default().vm_steps(10_000))
+        .build()
+        .expect("program builds");
+    let exhausted = session
+        .record_guarded(&[7u8])
+        .expect_err("an unbounded loop must trip the step ceiling");
+    assert_eq!(exhausted.stage, Stage::Vm);
+    assert_eq!(exhausted.limit, 10_000);
+    assert_eq!(exhausted.to_string(), "vm budget exhausted (limit 10000)");
+}
+
+#[test]
+fn ample_step_budget_leaves_terminating_programs_untouched() {
+    let mut session = Session::builder()
+        .source("fn main() -> u32 { return 6 * 7; }")
+        .budgets(Budgets::default())
+        .build()
+        .expect("program builds");
+    let trace = session.record_guarded(&[]).expect("within budget");
+    assert_eq!(trace.termination, cp_vm::Termination::Returned(42));
+}
+
+#[test]
+fn an_expired_deadline_fails_recording_before_the_vm_starts() {
+    let mut session = Session::builder()
+        .source("fn main() -> u32 { return 0; }")
+        .budgets(Budgets::default().deadline(Duration::ZERO))
+        .build()
+        .expect("program builds");
+    let exhausted = session
+        .record_guarded(&[])
+        .expect_err("a zero deadline expires before any stage runs");
+    assert_eq!(exhausted.stage, Stage::Vm);
+    // check_deadline attributes the same expiry to whichever stage asks.
+    let at_discovery = session.check_deadline(Stage::Discovery).unwrap_err();
+    assert_eq!(at_discovery.stage, Stage::Discovery);
+}
+
+#[test]
+fn an_arena_ceiling_of_zero_reports_arena_pressure() {
+    // The expression arena is thread-cumulative, so a zero ceiling always
+    // trips — which is exactly how the chaos harness models arena pressure.
+    let mut session = Session::builder()
+        .source("fn main() -> u32 { return input_byte(0) as u32; }")
+        .budgets(Budgets::default().arena_nodes(0))
+        .build()
+        .expect("program builds");
+    let exhausted = session
+        .record_guarded(&[1u8])
+        .expect_err("a zero arena ceiling must trip");
+    assert_eq!(exhausted.stage, Stage::Vm);
+    assert_eq!(exhausted.limit, 0);
+}
+
+#[test]
+fn session_budgets_are_observable() {
+    let budgets = Budgets::default()
+        .vm_steps(1234)
+        .discovery_executions(5)
+        .validation_recompiles(6);
+    let session = Session::builder()
+        .source("fn main() -> u32 { return 0; }")
+        .budgets(budgets)
+        .build()
+        .expect("program builds");
+    assert_eq!(session.budgets().vm_steps, 1234);
+    assert_eq!(session.budgets().discovery_executions, 5);
+    assert_eq!(session.budgets().validation_recompiles, 6);
+}

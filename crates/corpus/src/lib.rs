@@ -21,6 +21,8 @@
 //! The benchmark harness and the Figure 8 report generator iterate over
 //! [`scenarios`].
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use cp_formats::FormatDescriptor;
 use cp_lang::PatchAction;
 

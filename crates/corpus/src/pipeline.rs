@@ -8,29 +8,87 @@
 //! one [`Scenario`] through the whole system via `cp_core::Session` and
 //! `cp-patch`, and [`figure8`] renders the outcomes as the report table the
 //! `fig8` binary prints.
+//!
+//! A batch sweep must survive its worst scenario.  Every stage failure is a
+//! *row*, never an abort: [`run_scenario`] converts stage errors into a
+//! typed [`ScenarioStatus`], degrades recoverable failures (discovery that
+//! finds nothing falls back to the hand-written error input), and
+//! [`run_all`] isolates each scenario behind `catch_unwind` so even a panic
+//! becomes a `failed` row in the table.  Resource ceilings come from
+//! `cp_core::budget`; the deterministic fault points of `cp_core::faults`
+//! let the chaos suite force every one of these paths on demand.
 
 use crate::{ErrorClass, Scenario};
+use cp_core::faults::{self, FaultPoint};
 use cp_core::{
-    Check, DiscoverConfig, DiscoverOutcome, Discovery, PipelineError, Session, TransferOutcome,
-    TransferSpec,
+    BudgetExhausted, Budgets, DiscoverConfig, DiscoverOutcome, Discovery, Session, Stage,
+    StageError, TransferError, TransferOutcome, TransferSpec,
 };
 use cp_vm::Termination;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Deliberately unparseable Phage-C, substituted for a scenario's recipient
+/// source by [`FaultPoint::FrontendMalformed`].
+const MALFORMED_SOURCE: &str = "fn main( { this is not phage-c ]";
+
+/// How one scenario's sweep ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioStatus {
+    /// Every stage ran inside its budget and the patch validated.
+    Ok,
+    /// The patch validated, but a recoverable stage failure forced a
+    /// fallback (e.g. discovery found nothing and the hand-written error
+    /// input was used instead).
+    Degraded {
+        /// What degraded and how it was recovered.
+        reason: String,
+    },
+    /// The scenario produced no validated patch.
+    Failed(StageError),
+}
+
+impl ScenarioStatus {
+    /// The table cell: `ok`, `degraded` or `failed`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioStatus::Ok => "ok",
+            ScenarioStatus::Degraded { .. } => "degraded",
+            ScenarioStatus::Failed(_) => "failed",
+        }
+    }
+
+    /// Whether the sweep may count this row as healthy (`ok` or `degraded`).
+    pub fn is_healthy(&self) -> bool {
+        !matches!(self, ScenarioStatus::Failed(_))
+    }
+
+    /// The typed stage error, for failed rows.
+    pub fn error(&self) -> Option<&StageError> {
+        match self {
+            ScenarioStatus::Failed(error) => Some(error),
+            _ => None,
+        }
+    }
+}
 
 /// The result of one scenario's end-to-end run.
 #[derive(Debug)]
 pub struct ScenarioOutcome {
     /// The scenario that ran.
     pub scenario: Scenario,
+    /// How the sweep ended for this scenario.
+    pub status: ScenarioStatus,
     /// How the error input was derived, for overflow scenarios: the
     /// goal-directed discovery search that generated it (`None` for the
-    /// other error classes, whose inputs stay hand-written).
+    /// other error classes, whose inputs stay hand-written, and for
+    /// degraded rows that fell back to the hand-written input).
     pub discovery: Option<Discovery>,
     /// The error input the pipeline actually used — discovered for overflow
     /// scenarios, the scenario's hand-written one otherwise.
     pub error_input: Vec<u8>,
     /// How the stripped donor terminated on the error input (its guard must
     /// intercept: a clean exit or a clean return, never a detected error).
-    /// `None` when discovery failed before the donor ever ran.
+    /// `None` when the scenario failed before the donor ever ran.
     pub donor_termination: Option<Termination>,
     /// The error the unpatched recipient trips on, rendered.
     pub recipient_error: String,
@@ -39,7 +97,7 @@ pub struct ScenarioOutcome {
     pub raw_ops: Option<usize>,
     /// Op count after simplification.
     pub simplified_ops: Option<usize>,
-    /// The validated transfer, or the last failure rendered.
+    /// The validated transfer, or the failure rendered.
     pub result: Result<TransferOutcome, String>,
 }
 
@@ -55,113 +113,204 @@ impl ScenarioOutcome {
     }
 }
 
+/// A scenario that failed before producing a transfer, as a table row.
+fn failed(scenario: &Scenario, error: StageError) -> ScenarioOutcome {
+    ScenarioOutcome {
+        scenario: *scenario,
+        status: ScenarioStatus::Failed(error.clone()),
+        discovery: None,
+        error_input: Vec::new(),
+        donor_termination: None,
+        recipient_error: "-".into(),
+        raw_ops: None,
+        simplified_ops: None,
+        result: Err(error.to_string()),
+    }
+}
+
 /// Sweeps one scenario through the full pipeline.
 ///
 /// The stages mirror the paper end to end.  **Discover**: for
 /// overflow-into-allocation scenarios the error input is *generated* — the
 /// recipient is recorded on the benign input and `Session::discover` steers
-/// the solver toward an overflow at the ranked allocation sites; the
-/// hand-written `error_input` is never consulted.  **Record**: the stripped
-/// donor runs on the (derived) error input.  **Translate/insert/validate**:
-/// every candidate check the donor performed is folded over the scenario's
-/// format descriptor and offered to the transfer engine in execution order;
-/// the first check that yields a *validated* patch wins.
+/// the solver toward an overflow at the ranked allocation sites; when the
+/// search finds nothing inside its budget the scenario *degrades* to the
+/// hand-written `error_input` instead of failing.  **Record**: the stripped
+/// donor and the recipient run on the (derived) error input through
+/// [`Session::record_guarded`], so resource exhaustion surfaces as a typed
+/// budget failure rather than a hang.  **Translate/insert/validate**: every
+/// candidate check the donor performed is folded over the scenario's format
+/// descriptor and offered to the transfer engine in execution order; the
+/// first check that yields a *validated* patch wins.
 ///
-/// # Errors
-///
-/// Returns a [`PipelineError`] only when a corpus program fails to build —
-/// discovery and transfer failures are reported inside the outcome.
-pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome, PipelineError> {
+/// Never panics by design and never aborts the sweep: every stage failure
+/// is reported in the returned outcome's [`status`](ScenarioOutcome::status).
+/// (An *injected* chaos panic — [`FaultPoint::ScenarioPanic`] — does unwind,
+/// which is exactly what [`run_all`]'s isolation is there to catch.)
+pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    let _scope = faults::enter_scenario(scenario.name);
     let format = scenario.format();
 
-    let mut recipient = Session::builder().source(scenario.source).build()?;
+    let source = if faults::fires(FaultPoint::FrontendMalformed) {
+        MALFORMED_SOURCE
+    } else {
+        scenario.source
+    };
+    let mut recipient = match Session::builder()
+        .source(source)
+        .budgets(Budgets::default())
+        .build()
+    {
+        Ok(session) => session,
+        Err(error) => return failed(scenario, StageError::frontend(scenario.name, error)),
+    };
 
-    // Discover: derive the error input for the overflow class.
+    // Discover: derive the error input for the overflow class; degrade to
+    // the hand-written input when the search exhausts its budget empty.
+    let mut degraded: Option<String> = None;
     let (error_input, discovery) = if scenario.error_class == ErrorClass::OverflowIntoAllocation {
         match recipient.discover(scenario.benign_input, &DiscoverConfig::default()) {
             DiscoverOutcome::Found(found) => (found.input.clone(), Some(found)),
             DiscoverOutcome::NoTargetReachable(report) => {
-                return Ok(ScenarioOutcome {
-                    scenario: *scenario,
-                    discovery: None,
-                    error_input: Vec::new(),
-                    donor_termination: None,
-                    recipient_error: "-".into(),
-                    raw_ops: None,
-                    simplified_ops: None,
-                    result: Err(format!(
-                        "discovery found no error input ({} executions, {} sites, {} queries)",
-                        report.executions, report.sites_examined, report.solver_queries
-                    )),
-                });
+                degraded = Some(format!(
+                    "discovery found no error input ({} executions, {} sites, {} queries{}); \
+                     fell back to the hand-written one",
+                    report.executions,
+                    report.sites_examined,
+                    report.solver_queries,
+                    if report.budget_exhausted {
+                        ", budget exhausted"
+                    } else {
+                        ""
+                    },
+                ));
+                (scenario.error_input.to_vec(), None)
             }
         }
     } else {
         (scenario.error_input.to_vec(), None)
     };
 
-    let mut donor = Session::builder()
+    if faults::fires(FaultPoint::ScenarioPanic) {
+        panic!(
+            "injected chaos fault: scenario panic inside {}",
+            scenario.name
+        );
+    }
+
+    let mut donor = match Session::builder()
         .source(scenario.donor_source)
         .stripped()
-        .build()?;
-    let donor_trace = donor.record_with_input(&error_input);
+        .budgets(Budgets::default())
+        .build()
+    {
+        Ok(session) => session,
+        Err(error) => return failed(scenario, StageError::frontend(scenario.name, error)),
+    };
+    let donor_trace = match donor.record_guarded(&error_input) {
+        Ok(trace) => trace,
+        Err(exhausted) => return failed(scenario, StageError::budget(scenario.name, exhausted)),
+    };
 
     // One instrumented error-input recording serves both the fault report
     // and the insertion planner for every candidate check — the trace is
     // check-independent.
-    let crash = recipient.record_with_input(&error_input);
+    let crash = match recipient.record_guarded(&error_input) {
+        Ok(trace) => trace,
+        Err(exhausted) => return failed(scenario, StageError::budget(scenario.name, exhausted)),
+    };
     let recipient_error = crash
         .last_error()
         .map(|e| e.to_string())
         .unwrap_or_else(|| "ran cleanly".into());
-    let analyzed = recipient.analyzed().expect("built from source");
+    let analyzed = recipient
+        .analyzed()
+        .expect("recipient sessions are built from source");
 
-    let spec =
-        TransferSpec::new(&error_input, scenario.benign_corpus).with_action(scenario.patch_action);
+    let spec = recipient.configure_spec(
+        TransferSpec::new(&error_input, scenario.benign_corpus).with_action(scenario.patch_action),
+    );
 
-    let mut last_failure = String::from("donor performed no transferable check");
-    let mut transferred: Option<(&Check, TransferOutcome)> = None;
+    let mut last_error: Option<TransferError> = None;
+    let mut transferred: Option<(usize, usize, TransferOutcome)> = None;
     for check in donor_trace.checks() {
         let folded = format.fold(&check.condition());
         match cp_patch::transfer(analyzed, &folded, &crash.observation(), &spec) {
             Ok(outcome) => {
-                transferred = Some((check, outcome));
+                transferred = Some((check.raw_ops(), check.simplified_ops(), outcome));
                 break;
             }
-            Err(error) => last_failure = error.to_string(),
+            Err(error) => {
+                let budget_tripped = matches!(error, TransferError::RecompileBudget { .. });
+                last_error = Some(error);
+                if budget_tripped {
+                    // Offering further checks would spend recompiles the
+                    // budget just said we do not have.
+                    break;
+                }
+            }
         }
     }
 
-    let (raw_ops, simplified_ops, result) = match transferred {
-        Some((check, outcome)) => (
-            Some(check.raw_ops()),
-            Some(check.simplified_ops()),
-            Ok(outcome),
-        ),
-        None => (None, None, Err(last_failure)),
-    };
-    Ok(ScenarioOutcome {
-        scenario: *scenario,
-        discovery,
-        error_input,
-        donor_termination: Some(donor_trace.termination),
-        recipient_error,
-        raw_ops,
-        simplified_ops,
-        result,
-    })
+    match transferred {
+        Some((raw_ops, simplified_ops, outcome)) => ScenarioOutcome {
+            scenario: *scenario,
+            status: match degraded {
+                Some(reason) => ScenarioStatus::Degraded { reason },
+                None => ScenarioStatus::Ok,
+            },
+            discovery,
+            error_input,
+            donor_termination: Some(donor_trace.termination),
+            recipient_error,
+            raw_ops: Some(raw_ops),
+            simplified_ops: Some(simplified_ops),
+            result: Ok(outcome),
+        },
+        None => {
+            let error = match last_error {
+                None => StageError::patch(scenario.name, "donor performed no transferable check"),
+                Some(TransferError::RecompileBudget { limit, .. }) => StageError::budget(
+                    scenario.name,
+                    BudgetExhausted {
+                        stage: Stage::Validation,
+                        limit: limit as u64,
+                    },
+                ),
+                Some(error @ TransferError::AllPlansFailed { .. }) => {
+                    StageError::validation(scenario.name, error)
+                }
+                Some(error) => StageError::patch(scenario.name, error),
+            };
+            ScenarioOutcome {
+                scenario: *scenario,
+                status: ScenarioStatus::Failed(error.clone()),
+                discovery,
+                error_input,
+                donor_termination: Some(donor_trace.termination),
+                recipient_error,
+                raw_ops: None,
+                simplified_ops: None,
+                result: Err(error.to_string()),
+            }
+        }
+    }
 }
 
-/// Runs every corpus scenario through the pipeline.
+/// Runs every corpus scenario through the pipeline, isolating each behind
+/// `catch_unwind`: one poisoned scenario becomes a `failed` row, never a
+/// dead sweep.
 ///
-/// # Panics
-///
-/// Panics if a corpus program fails to build — the corpus is part of this
-/// workspace and must always compile.
+/// Corpus programs failing to build is also just a failed row now — the
+/// sweep itself never panics and always returns one outcome per scenario.
 pub fn run_all() -> Vec<ScenarioOutcome> {
     crate::scenarios()
         .iter()
-        .map(|s| run_scenario(s).expect("corpus programs build"))
+        .map(|scenario| {
+            catch_unwind(AssertUnwindSafe(|| run_scenario(scenario))).unwrap_or_else(|payload| {
+                failed(scenario, StageError::panic(scenario.name, payload.as_ref()))
+            })
+        })
         .collect()
 }
 
@@ -178,7 +327,7 @@ fn discovered_cell(outcome: &ScenarioOutcome) -> String {
 pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}  detail\n",
+        "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6} {:<8}  detail\n",
         "scenario",
         "class",
         "discovered",
@@ -187,7 +336,8 @@ pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
         "insertion",
         "action",
         "benign",
-        "tries"
+        "tries",
+        "status"
     ));
     for outcome in outcomes {
         let class = format!("{:?}", outcome.scenario.error_class);
@@ -198,8 +348,14 @@ pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
                     cp_lang::PatchAction::Exit(_) => "exit",
                     cp_lang::PatchAction::ReturnZero => "return0",
                 };
+                let detail = match &outcome.status {
+                    ScenarioStatus::Degraded { reason } => {
+                        format!("validated: {} [{reason}]", transfer.patch.render())
+                    }
+                    _ => format!("validated: {}", transfer.patch.render()),
+                };
                 out.push_str(&format!(
-                    "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}  validated: {}\n",
+                    "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6} {:<8}  {}\n",
                     outcome.scenario.name,
                     class,
                     discovered_cell(outcome),
@@ -209,12 +365,13 @@ pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
                     action,
                     transfer.report.benign.len(),
                     transfer.attempts,
-                    transfer.patch.render(),
+                    outcome.status.label(),
+                    detail,
                 ));
             }
             Err(failure) => {
                 out.push_str(&format!(
-                    "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}  FAILED: {}\n",
+                    "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6} {:<8}  {}\n",
                     outcome.scenario.name,
                     class,
                     discovered_cell(outcome),
@@ -224,6 +381,7 @@ pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
                     "-",
                     0,
                     0,
+                    outcome.status.label(),
                     failure,
                 ));
             }
@@ -241,7 +399,15 @@ mod tests {
         let outcomes = run_all();
         assert_eq!(outcomes.len(), crate::scenarios().len());
         for outcome in &outcomes {
-            // Overflow scenarios derived their error input via discovery,
+            // At default budgets nothing degrades and nothing fails…
+            assert_eq!(
+                outcome.status,
+                ScenarioStatus::Ok,
+                "{}: {:?}",
+                outcome.scenario.name,
+                outcome.status
+            );
+            // …overflow scenarios derived their error input via discovery,
             // without consulting the hand-written one…
             if outcome.discoverable() {
                 let found = outcome
@@ -284,7 +450,7 @@ mod tests {
             );
             assert!(transfer.report.benign.iter().all(|b| b.identical()));
             assert_eq!(transfer.patch.action, outcome.scenario.patch_action);
-            assert!(outcome.raw_ops.unwrap() >= outcome.simplified_ops.unwrap());
+            assert!(outcome.raw_ops >= outcome.simplified_ops);
         }
     }
 
@@ -300,7 +466,13 @@ mod tests {
             crate::scenarios().len(),
             "{table}"
         );
-        assert!(!table.contains("FAILED"), "{table}");
+        assert_eq!(
+            table.matches(" ok ").count(),
+            crate::scenarios().len(),
+            "{table}"
+        );
+        assert!(!table.contains("failed"), "{table}");
+        assert!(!table.contains("degraded"), "{table}");
         assert!(table.contains("return0"), "{table}");
     }
 }

@@ -30,7 +30,7 @@
 //! `VmError::OverflowIntoAllocation`).  `cp_core::Session::discover` wires a
 //! recording session into [`discover`].
 
-use cp_solver::{SampleSolver, Satisfiability, Solver};
+use cp_solver::{Satisfiability, Solver, SolverBudgets};
 use cp_symexpr::{count_ops, input_support, overflow_goal, BinOp, ExprBuild, ExprRef, SymExpr};
 use cp_taint::{AllocRecord, BranchRecord};
 use cp_vm::VmError;
@@ -178,6 +178,11 @@ pub struct DiscoverConfig {
     /// Seed of the solver's deterministic sampling stream: the same seed
     /// and benign input reproduce the same discovered error input.
     pub seed: u64,
+    /// Resource budgets for the satisfiability queries the search issues
+    /// (see [`SolverBudgets`]); a starved bundle makes every query come
+    /// back `Unknown`, so the search degrades to "no target reachable"
+    /// instead of hanging or panicking.
+    pub solver_budgets: SolverBudgets,
 }
 
 impl Default for DiscoverConfig {
@@ -188,6 +193,12 @@ impl Default for DiscoverConfig {
             max_sites_per_run: 4,
             max_flips_per_run: 16,
             seed: 0xD10DE,
+            // Discovery has always sampled harder than translation (256
+            // environments vs 64): model hunting is its cheapest stage.
+            solver_budgets: SolverBudgets {
+                samples: 256,
+                ..SolverBudgets::default()
+            },
         }
     }
 }
@@ -204,10 +215,7 @@ impl DiscoverConfig {
 
     /// The solver this configuration drives.
     fn solver(&self) -> Solver {
-        Solver {
-            sampler: SampleSolver::with_seed(self.seed),
-            ..Solver::default()
-        }
+        Solver::with_seeded_budgets(self.seed, self.solver_budgets)
     }
 }
 

@@ -14,12 +14,43 @@ use crate::{LangError, Result};
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
+
+/// Maximum recursive nesting the parser accepts — across expressions
+/// (parentheses, unary chains, index/call arguments), statements (blocks,
+/// `if`/`while` bodies) and types (`ptr<ptr<…>>`).
+///
+/// Deeply nested *generated* programs (the roadmap's grammar-driven corpus)
+/// must produce a spanned diagnostic, not a stack overflow: each recursion
+/// level costs a handful of stack frames, so the limit keeps the parser
+/// comfortably inside even a test thread's 2 MiB stack while leaving far
+/// more headroom than any real program uses.
+pub const MAX_NESTING_DEPTH: usize = 128;
 
 impl Parser {
     /// Creates a parser over a token stream.
     pub fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// Enters one nesting level, diagnosing [`MAX_NESTING_DEPTH`] overruns
+    /// at the current token.  Paired with a `self.depth -= 1` on the
+    /// wrapper's exit; error paths abandon the parse outright, so their
+    /// stale depth is never observed.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(LangError::new(
+                format!("nesting exceeds the maximum depth of {MAX_NESTING_DEPTH}"),
+                self.peek().span,
+            ));
+        }
+        Ok(())
     }
 
     /// Parses a complete program.
@@ -135,6 +166,13 @@ impl Parser {
     }
 
     fn parse_type(&mut self) -> Result<Type> {
+        self.descend()?;
+        let ty = self.parse_type_inner();
+        self.depth -= 1;
+        ty
+    }
+
+    fn parse_type_inner(&mut self) -> Result<Type> {
         let token = self.advance().clone();
         match token.kind {
             TokenKind::Ptr => {
@@ -168,6 +206,13 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt> {
+        self.descend()?;
+        let stmt = self.parse_stmt_inner();
+        self.depth -= 1;
+        stmt
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Stmt> {
         let token = self.peek().clone();
         match token.kind {
             TokenKind::Var => self.parse_var_decl(),
@@ -265,7 +310,10 @@ impl Parser {
 
     /// Expression parsing: precedence climbing.
     fn parse_expr(&mut self) -> Result<Expr> {
-        self.parse_logical_or()
+        self.descend()?;
+        let expr = self.parse_logical_or();
+        self.depth -= 1;
+        expr
     }
 
     fn parse_logical_or(&mut self) -> Result<Expr> {
@@ -416,6 +464,13 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<Expr> {
+        self.descend()?;
+        let expr = self.parse_unary_inner();
+        self.depth -= 1;
+        expr
+    }
+
+    fn parse_unary_inner(&mut self) -> Result<Expr> {
         let token = self.peek().clone();
         let op = match token.kind {
             TokenKind::Minus => Some(UnaryOp::Neg),

@@ -219,7 +219,18 @@ struct FunctionChecker<'a> {
     vars: Vec<VarDebug>,
     ret: Option<Type>,
     next_stmt_id: usize,
+    depth: usize,
 }
+
+/// Maximum recursive nesting the checker walks before diagnosing instead of
+/// recursing further.
+///
+/// The parser enforces its own [`crate::parser::MAX_NESTING_DEPTH`], so on
+/// the normal front-end path this limit is unreachable; it exists as
+/// defense in depth for ASTs built programmatically (patch application
+/// splices subtrees without reparsing) so sema can never overflow the stack
+/// either.
+const MAX_SEMA_DEPTH: usize = 256;
 
 fn analyze_function(
     mut function: Function,
@@ -234,6 +245,7 @@ fn analyze_function(
         vars: Vec::new(),
         ret: function.ret.clone(),
         next_stmt_id: 0,
+        depth: 0,
     };
     for param in &function.params {
         checker.declare(param.name.clone(), param.ty.clone(), None, function.span)?;
@@ -296,6 +308,20 @@ impl<'a> FunctionChecker<'a> {
     }
 
     fn check_stmt(&mut self, stmt: &mut Stmt) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_SEMA_DEPTH {
+            self.depth -= 1;
+            return Err(LangError::new(
+                format!("statement nesting exceeds the maximum depth of {MAX_SEMA_DEPTH}"),
+                stmt.span,
+            ));
+        }
+        let checked = self.check_stmt_inner(stmt);
+        self.depth -= 1;
+        checked
+    }
+
+    fn check_stmt_inner(&mut self, stmt: &mut Stmt) -> Result<()> {
         stmt.id = self.next_stmt_id;
         self.next_stmt_id += 1;
         let stmt_id = stmt.id;
@@ -474,6 +500,20 @@ impl<'a> FunctionChecker<'a> {
     }
 
     fn check_expr(&mut self, expr: &mut Expr, expected: Option<&Type>) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_SEMA_DEPTH {
+            self.depth -= 1;
+            return Err(LangError::new(
+                format!("expression nesting exceeds the maximum depth of {MAX_SEMA_DEPTH}"),
+                expr.span,
+            ));
+        }
+        let checked = self.check_expr_inner(expr, expected);
+        self.depth -= 1;
+        checked
+    }
+
+    fn check_expr_inner(&mut self, expr: &mut Expr, expected: Option<&Type>) -> Result<()> {
         let span = expr.span;
         match &mut expr.kind {
             ExprKind::Int(_) => {

@@ -1,0 +1,127 @@
+//! Nesting-depth limits: pathologically deep source produces a spanned
+//! diagnostic, never a stack overflow.  Running these tests inside a normal
+//! (2 MiB) test thread *is* the overflow check — an unbounded recursive
+//! descent would abort the whole process here.
+
+use cp_lang::parser::MAX_NESTING_DEPTH;
+use cp_lang::{frontend, parse_program};
+
+/// `return ((((…1…))));` with `depth` paren pairs.
+fn parens_program(depth: usize) -> String {
+    format!(
+        "fn main() -> u32 {{ return {}1{}; }}",
+        "(".repeat(depth),
+        ")".repeat(depth)
+    )
+}
+
+/// `depth` nested `if (1) { … }` statements around a `return`.
+fn nested_ifs_program(depth: usize) -> String {
+    format!(
+        "fn main() -> u32 {{ {} return 0; {} }}",
+        "if (1) {".repeat(depth),
+        "}".repeat(depth)
+    )
+}
+
+/// A var decl of type `ptr<ptr<…u8…>>` with `depth` pointer wrappers.
+fn nested_ptr_program(depth: usize) -> String {
+    format!(
+        "fn main() -> u32 {{ var p: {}u8{} = 0 as {}u8{}; return 0; }}",
+        "ptr<".repeat(depth),
+        ">".repeat(depth),
+        "ptr<".repeat(depth),
+        ">".repeat(depth)
+    )
+}
+
+#[test]
+fn deep_parenthesization_is_a_diagnostic_not_an_overflow() {
+    let err = parse_program(&parens_program(4 * MAX_NESTING_DEPTH))
+        .expect_err("absurd nesting must be rejected");
+    assert!(
+        err.message.contains("nesting exceeds the maximum depth"),
+        "{err}"
+    );
+    assert!(err.span.is_some(), "the diagnostic must carry a span");
+}
+
+#[test]
+fn reasonable_parenthesization_still_parses() {
+    let depth = MAX_NESTING_DEPTH / 4;
+    frontend(&parens_program(depth)).expect("well under the limit");
+}
+
+#[test]
+fn deep_statement_nesting_is_a_diagnostic_not_an_overflow() {
+    let err = parse_program(&nested_ifs_program(4 * MAX_NESTING_DEPTH))
+        .expect_err("absurd nesting must be rejected");
+    assert!(
+        err.message.contains("nesting exceeds the maximum depth"),
+        "{err}"
+    );
+    assert!(err.span.is_some());
+}
+
+#[test]
+fn reasonable_statement_nesting_still_parses() {
+    frontend(&nested_ifs_program(MAX_NESTING_DEPTH / 4)).expect("well under the limit");
+}
+
+#[test]
+fn deep_type_nesting_is_a_diagnostic_not_an_overflow() {
+    let err = parse_program(&nested_ptr_program(4 * MAX_NESTING_DEPTH))
+        .expect_err("absurd nesting must be rejected");
+    assert!(
+        err.message.contains("nesting exceeds the maximum depth"),
+        "{err}"
+    );
+    assert!(err.span.is_some());
+}
+
+#[test]
+fn deep_unary_chains_are_a_diagnostic_not_an_overflow() {
+    let source = format!(
+        "fn main() -> u32 {{ return {}1; }}",
+        "!".repeat(4 * MAX_NESTING_DEPTH)
+    );
+    let err = parse_program(&source).expect_err("absurd nesting must be rejected");
+    assert!(
+        err.message.contains("nesting exceeds the maximum depth"),
+        "{err}"
+    );
+}
+
+/// The sema limit is defense in depth for programmatically built ASTs that
+/// never went through the parser (patch application splices subtrees).
+#[test]
+fn sema_diagnoses_programmatic_asts_deeper_than_its_limit() {
+    use cp_lang::ast::{ExprKind, Function, Program, StmtKind, UnaryOp};
+    use cp_lang::{Expr, Span, Stmt, Type};
+
+    let mut expr = Expr::new(ExprKind::Int(1), Span::default());
+    for _ in 0..600 {
+        expr = Expr::new(
+            ExprKind::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(expr),
+            },
+            Span::default(),
+        );
+    }
+    let mut program = Program::default();
+    program.functions.push(Function {
+        name: "main".into(),
+        params: vec![],
+        ret: Some(Type::U32),
+        body: vec![Stmt::new(StmtKind::Return(Some(expr)), Span::default())],
+        span: Span::default(),
+    });
+    let err = cp_lang::analyze(program).expect_err("sema must reject the depth");
+    assert!(
+        err.message
+            .contains("expression nesting exceeds the maximum depth"),
+        "{err}"
+    );
+    assert!(err.span.is_some());
+}

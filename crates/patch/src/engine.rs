@@ -33,8 +33,15 @@ pub struct TransferSpec<'a> {
     pub benign_corpus: &'a [&'a [u8]],
     /// Maximum insertion plans to validate before giving up.
     pub max_attempts: usize,
+    /// Maximum recompiles (one for the baseline, one per validated
+    /// candidate) before the transfer reports
+    /// [`TransferError::RecompileBudget`].
+    pub max_recompiles: usize,
     /// Execution limits for validation runs.
     pub config: RunConfig,
+    /// The translator (and therefore solver budgets) used to bind donor
+    /// fields to recipient expressions.
+    pub translator: Translator,
 }
 
 impl<'a> TransferSpec<'a> {
@@ -45,7 +52,9 @@ impl<'a> TransferSpec<'a> {
             error_input,
             benign_corpus,
             max_attempts: 16,
+            max_recompiles: 64,
             config: RunConfig::default(),
+            translator: Translator::default(),
         }
     }
 
@@ -87,6 +96,13 @@ pub enum TransferError {
         /// The rejected attempts, in the order tried.
         attempts: Vec<FailedAttempt>,
     },
+    /// The recompile budget ran out before a candidate validated.
+    RecompileBudget {
+        /// The configured ceiling ([`TransferSpec::max_recompiles`]).
+        limit: usize,
+        /// Plans rejected before the budget tripped.
+        attempts: Vec<FailedAttempt>,
+    },
 }
 
 impl fmt::Display for TransferError {
@@ -114,6 +130,11 @@ impl fmt::Display for TransferError {
                 }
                 Ok(())
             }
+            TransferError::RecompileBudget { limit, attempts } => write!(
+                f,
+                "validation recompile budget exhausted (limit {limit}, {} plans tried)",
+                attempts.len()
+            ),
         }
     }
 }
@@ -187,7 +208,9 @@ pub fn transfer(
         .map(|f| Some(f.name.clone()))
         .collect();
     let table = VarTable::from_observation(observation.var_values, &recipient.debug, &fn_names);
-    let translation = Translator::default().translate_all(donor_condition, &table.candidates)?;
+    let translation = spec
+        .translator
+        .translate_all(donor_condition, &table.candidates)?;
 
     let plans = plan(
         &translation,
@@ -201,6 +224,19 @@ pub fn transfer(
             stats: translation.stats,
         });
     }
+
+    // Recompiles are the transfer's unit of validation spend: one for the
+    // unpatched baseline, one per candidate patch.  The ceiling converts a
+    // pathological plan set into a typed budget error instead of an
+    // open-ended recompile loop.
+    let mut recompiles_left = spec.max_recompiles;
+    if recompiles_left == 0 {
+        return Err(TransferError::RecompileBudget {
+            limit: spec.max_recompiles,
+            attempts: Vec::new(),
+        });
+    }
+    recompiles_left -= 1;
 
     // The unpatched baseline compiles and runs once; its behavior on the
     // error input and the benign corpus is identical across attempts.
@@ -239,6 +275,13 @@ pub fn transfer(
             })
             .collect();
         let guard = lower_guard(donor_condition, &vars)?;
+        if recompiles_left == 0 {
+            return Err(TransferError::RecompileBudget {
+                limit: spec.max_recompiles,
+                attempts: rejected,
+            });
+        }
+        recompiles_left -= 1;
         let patch = Patch {
             function: site.function_name.clone(),
             after_stmt: site.stmt,

@@ -25,6 +25,8 @@
 //! engine; the corpus crate's batch runner sweeps every scenario through it
 //! to produce the Figure 8 report.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod engine;
 pub mod insert;
 pub mod lower;

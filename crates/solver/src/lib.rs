@@ -216,6 +216,11 @@ impl SampleSolver {
                 None => Equivalence::Proved,
             };
         }
+        if self.samples == 0 {
+            // A zero budget disables sampling entirely (boundary environments
+            // included) — the contract [`SolverBudgets::starved`] relies on.
+            return Equivalence::Unknown;
+        }
 
         // Boundary environments first.
         for fill in [0x00u8, 0xFF, 0x80, 0x01] {
@@ -256,6 +261,10 @@ impl SampleSolver {
 
         if offsets.is_empty() {
             return sat(&env).then_some(env);
+        }
+        if self.samples == 0 {
+            // Zero budget disables the hunt (see [`SolverBudgets::starved`]).
+            return None;
         }
         for fill in [0x00u8, 0xFF, 0x80, 0x01] {
             for slot in env.iter_mut() {
@@ -313,6 +322,71 @@ impl Default for Solver {
             sampler: SampleSolver::with_samples(64),
             limits: BlastLimits::default(),
             exhaustive_budget: 1 << 16,
+        }
+    }
+}
+
+/// One bundle of every resource knob a [`Solver`] consumes, so callers that
+/// budget whole pipeline stages (see `cp_core::budget`) can configure the
+/// escalation ladder without naming its internals stage by stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverBudgets {
+    /// Sampling environments tried before escalating.
+    pub samples: u32,
+    /// Maximum AND gates in a bit-blasted miter.
+    pub max_gates: usize,
+    /// Maximum CDCL conflicts before the blaster abandons.
+    pub max_conflicts: u64,
+    /// Maximum evaluations the exhaustive fallback may spend.
+    pub exhaustive: u64,
+}
+
+impl Default for SolverBudgets {
+    fn default() -> Self {
+        let solver = Solver::default();
+        SolverBudgets {
+            samples: solver.sampler.samples,
+            max_gates: solver.limits.max_gates,
+            max_conflicts: solver.limits.max_conflicts,
+            exhaustive: solver.exhaustive_budget,
+        }
+    }
+}
+
+impl SolverBudgets {
+    /// A budget with every stage beyond structural comparison starved to
+    /// zero — each incomplete stage (sampling, bit-blast, enumeration) gives
+    /// up immediately, so any query that structural equality cannot decide
+    /// degrades to [`Equivalence::Unknown`] / [`Satisfiability::Unknown`].
+    pub fn starved() -> Self {
+        SolverBudgets {
+            samples: 0,
+            max_gates: 0,
+            max_conflicts: 0,
+            exhaustive: 0,
+        }
+    }
+}
+
+impl Solver {
+    /// Builds a solver honouring an externally imposed budget bundle, keeping
+    /// the default deterministic sample seed.
+    pub fn with_budgets(budgets: SolverBudgets) -> Self {
+        Solver::with_seeded_budgets(SampleSolver::default().seed, budgets)
+    }
+
+    /// Like [`Solver::with_budgets`] with an explicit sample-stream seed.
+    pub fn with_seeded_budgets(seed: u64, budgets: SolverBudgets) -> Self {
+        Solver {
+            sampler: SampleSolver {
+                samples: budgets.samples,
+                seed,
+            },
+            limits: BlastLimits {
+                max_gates: budgets.max_gates,
+                max_conflicts: budgets.max_conflicts,
+            },
+            exhaustive_budget: budgets.exhaustive,
         }
     }
 }
@@ -506,9 +580,26 @@ mod tests {
         let x = SymExpr::input_byte(0).zext(Width::W16);
         let plus = x.binop(BinOp::Add, SymExpr::constant(Width::W16, 1));
         let trunc = plus.truncate(Width::W8).zext(Width::W16);
-        // Equal below 255, different at 255: refuted by the 0xFF probe.
-        let verdict = SampleSolver::with_samples(0).equivalent(&plus, &trunc);
+        // Equal below 255, different at 255: refuted by the 0xFF probe,
+        // which runs before any of the (here: one) pseudo-random samples.
+        let verdict = SampleSolver::with_samples(1).equivalent(&plus, &trunc);
         assert!(verdict.is_refuted());
+    }
+
+    #[test]
+    fn zero_sample_budget_disables_sampling_entirely() {
+        let x = SymExpr::input_byte(0).zext(Width::W16);
+        let plus = x.binop(BinOp::Add, SymExpr::constant(Width::W16, 1));
+        let trunc = plus.truncate(Width::W8).zext(Width::W16);
+        // The same disagreement the 0xFF probe catches above stays Unknown
+        // under a zero budget: starvation suppresses the boundary
+        // environments too (the `SolverBudgets::starved` contract).
+        let starved = SampleSolver::with_samples(0);
+        assert_eq!(starved.equivalent(&plus, &trunc), Equivalence::Unknown);
+        assert_eq!(starved.find_model(&x), None);
+        // Input-independent pairs are still decided outright.
+        let six = SymExpr::constant(Width::W32, 6);
+        assert_eq!(starved.equivalent(&six, &six), Equivalence::Proved);
     }
 
     #[test]
