@@ -44,6 +44,16 @@ const COUNTER_GATED: &[(&str, &str, f64)] = &[
     // into a per-instruction path.  The <5% absolute bound itself is
     // asserted inside `benches/budgets.rs` on full (non-quick) runs.
     ("budgets", "record_overhead_p50_worst", 1.5),
+    // Solver-verdict-memo misses count the sweep's *distinct* circuit
+    // families, which depend on the synthetic variant set rather than the
+    // scenario count (quick mode's 120 scenarios already cycle all twenty
+    // variants), so growth means structural sharing broke — new circuits
+    // per scenario, or a memo that stopped hitting.
+    ("sweep", "solver_memo_misses", 1.5),
+    // The peak arena node count is the largest *single scenario's* epoch,
+    // not the sweep's sum; growth across the baseline means either a
+    // scenario got heavier or epochs stopped reclaiming.
+    ("sweep", "peak_arena_nodes", 1.5),
 ];
 
 fn median_cases(doc: &Value, section: &str, prefix: &str) -> Vec<(String, f64)> {

@@ -18,14 +18,27 @@
 //! additionally requires every overflow-into-allocation scenario to have
 //! *derived* its error input via the solver-driven generator (and prints the
 //! derived inputs), which is how the CI `discover` job gates the input
-//! generation stage.
+//! generation stage.  `--workers N` shards the sweep across the worker pool
+//! (default: sequential, or the `CP_SWEEP_WORKERS` environment variable);
+//! rows come back in scenario order either way.
 
-use cp_corpus::pipeline::{figure8, run_all};
+use cp_corpus::pipeline::{figure8, run_all_with, SweepOptions};
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
     let discover = std::env::args().any(|a| a == "--discover");
-    let outcomes = run_all();
+    let mut options = SweepOptions::from_env();
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--workers" {
+            let workers = args
+                .next()
+                .and_then(|n| n.parse().ok())
+                .expect("--workers needs a positive number");
+            options = SweepOptions::with_workers(workers);
+        }
+    }
+    let outcomes = run_all_with(options);
     print!("{}", figure8(&outcomes));
 
     let mut failed: Vec<String> = outcomes

@@ -86,7 +86,9 @@ pub struct Budgets {
     /// Recompiles (baseline + per-candidate validation) one transfer may
     /// spend.
     pub validation_recompiles: usize,
-    /// Ceiling on the thread's interned expression-arena nodes, checked
+    /// Ceiling on the thread's interned expression-arena nodes *in the
+    /// current arena epoch* (the count resets with the epoch, so the cap
+    /// bounds one unit of work rather than the process lifetime), checked
     /// after each recording; `None` leaves the arena unobserved.
     pub arena_nodes: Option<u64>,
     /// Wall-clock deadline for the whole session, checked at stage

@@ -120,6 +120,35 @@ pub fn enter_scenario(scenario: &str) -> ScenarioScope {
     ScenarioScope { previous }
 }
 
+/// A copy of one thread's armed fault, for re-arming on another thread.
+///
+/// The registry is thread-local by design (parallel tests stay isolated),
+/// but the corpus worker pool runs scenarios on threads the caller never
+/// sees — a fault armed on the dispatching thread must follow the work.
+/// [`snapshot`] captures the dispatcher's armed state; each worker re-arms
+/// it with [`arm_snapshot`] before sweeping.
+#[derive(Debug, Clone)]
+pub struct FaultSnapshot {
+    armed: Option<(FaultPoint, String)>,
+}
+
+/// Captures the calling thread's armed fault (if any) so a worker thread can
+/// mirror it.
+pub fn snapshot() -> FaultSnapshot {
+    FaultSnapshot {
+        armed: ARMED.with(|armed| armed.borrow().as_ref().map(|a| (a.point, a.target.clone()))),
+    }
+}
+
+/// Arms the snapshot's fault on the calling thread; a no-op guard when the
+/// snapshot is empty.  Dropping the guard disarms, exactly like [`arm`].
+pub fn arm_snapshot(snapshot: &FaultSnapshot) -> Option<FaultGuard> {
+    snapshot
+        .armed
+        .as_ref()
+        .map(|(point, target)| arm(*point, target))
+}
+
 /// Whether `point` is armed for the scenario the thread is currently inside.
 ///
 /// This is the single question every injection point asks; with nothing
@@ -187,6 +216,28 @@ mod tests {
             assert!(!fires(FaultPoint::ArenaPressure));
         }
         assert!(fires(FaultPoint::ArenaPressure));
+    }
+
+    #[test]
+    fn a_snapshot_carries_a_fault_to_another_thread() {
+        let _guard = arm(FaultPoint::SolverBudget, "target");
+        let snap = snapshot();
+        let fired = std::thread::spawn(move || {
+            let _armed = arm_snapshot(&snap);
+            let _scope = enter_scenario("target");
+            fires(FaultPoint::SolverBudget)
+        })
+        .join()
+        .expect("worker survives");
+        assert!(fired, "the snapshot must arm the fault on the worker");
+    }
+
+    #[test]
+    fn an_empty_snapshot_arms_nothing() {
+        let snap = snapshot();
+        assert!(arm_snapshot(&snap).is_none());
+        let _scope = enter_scenario("anything");
+        assert!(!fires(FaultPoint::ScenarioPanic));
     }
 
     #[test]

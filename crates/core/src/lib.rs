@@ -50,7 +50,7 @@ use cp_lang::{frontend, AnalyzedProgram, LangError};
 use cp_patch::Observation;
 use cp_solver::translate::{Candidate, TranslateError, Translation, Translator};
 use cp_solver::Solver;
-use cp_symexpr::{rewrite, ExprArena, ExprRef};
+use cp_symexpr::{rewrite, ExprRef};
 use cp_taint::{
     AllocRecord, BranchRecord, CallRecord, InputReadRecord, ScopeRecorder, TraceRecorder,
     VarValueRecord,
@@ -76,6 +76,7 @@ pub use cp_solver::translate::{
     Translation as CheckTranslation,
 };
 pub use cp_solver::SolverBudgets;
+pub use cp_symexpr::{ArenaEpoch, ExprArena};
 pub use cp_taint::{BlockProfile, TraceRecorder as Recorder};
 pub use cp_vm::RunConfig as VmRunConfig;
 pub use error::StageError;
@@ -367,7 +368,7 @@ pub struct SessionBuilder {
     budgets: Option<Budgets>,
     strip: bool,
     opt_level: Option<OptLevel>,
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<Box<dyn Observer + Send>>,
 }
 
 impl SessionBuilder {
@@ -438,8 +439,9 @@ impl SessionBuilder {
     }
 
     /// Registers an additional observer that receives every execution event
-    /// alongside the session's own trace recorder.
-    pub fn observer(mut self, observer: Box<dyn Observer>) -> Self {
+    /// alongside the session's own trace recorder.  Observers are `Send` so
+    /// a fully configured [`Session`] can move to a worker thread.
+    pub fn observer(mut self, observer: Box<dyn Observer + Send>) -> Self {
         self.observers.push(observer);
         self
     }
@@ -506,7 +508,7 @@ pub struct Session {
     config: RunConfig,
     budgets: Budgets,
     deadline: budget::Deadline,
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<Box<dyn Observer + Send>>,
 }
 
 impl Session {
@@ -676,6 +678,10 @@ impl Session {
             self.budgets.arena_nodes
         };
         if let Some(cap) = arena_cap {
+            // `node_count` reports the current arena *epoch*, so the ceiling
+            // bounds one unit of work, not the process lifetime — a worker
+            // thread sweeping scenarios under per-scenario epochs never
+            // accumulates toward the cap.
             let nodes = ExprArena::node_count() as u64;
             if nodes > cap {
                 return Err(BudgetExhausted {
@@ -740,7 +746,7 @@ impl Session {
 struct Fanout<'a> {
     recorder: &'a mut TraceRecorder,
     scopes: &'a mut ScopeRecorder,
-    extra: &'a mut [Box<dyn Observer>],
+    extra: &'a mut [Box<dyn Observer + Send>],
 }
 
 impl Observer for Fanout<'_> {
@@ -856,14 +862,16 @@ mod tests {
 
     #[test]
     fn extra_observers_see_the_event_stream() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
         #[derive(Default)]
-        struct CountBranches(std::rc::Rc<std::cell::Cell<usize>>);
+        struct CountBranches(Arc<AtomicUsize>);
         impl Observer for CountBranches {
             fn on_branch(&mut self, _event: &BranchEvent, _state: &MachineState) {
-                self.0.set(self.0.get() + 1);
+                self.0.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let count = Arc::new(AtomicUsize::new(0));
         let trace = Session::builder()
             .source(
                 r#"
@@ -877,8 +885,18 @@ mod tests {
             .observer(Box::new(CountBranches(count.clone())))
             .record()
             .unwrap();
-        assert_eq!(count.get(), trace.branches.len());
-        assert_eq!(count.get(), 5);
+        assert_eq!(count.load(Ordering::Relaxed), trace.branches.len());
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn sessions_move_to_worker_threads() {
+        // The worker pool in `cp_corpus::pipeline` builds and runs whole
+        // sessions on its own threads; `Session` (and its builder) must
+        // therefore be `Send`.
+        fn assert_send<T: Send>() {}
+        assert_send::<Session>();
+        assert_send::<SessionBuilder>();
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Budget-layer tests: resource exhaustion surfaces as the typed
 //! `BudgetExhausted` outcome — never a hang, never a panic.
 
-use cp_core::{Budgets, Session, Stage};
+use cp_core::{ArenaEpoch, Budgets, ExprArena, Session, Stage};
 use std::time::Duration;
 
 /// A recipient that never terminates on its own: the loop counter wraps
@@ -63,8 +63,8 @@ fn an_expired_deadline_fails_recording_before_the_vm_starts() {
 
 #[test]
 fn an_arena_ceiling_of_zero_reports_arena_pressure() {
-    // The expression arena is thread-cumulative, so a zero ceiling always
-    // trips — which is exactly how the chaos harness models arena pressure.
+    // A zero ceiling always trips, whatever the epoch has interned so far —
+    // which is exactly how the chaos harness models arena pressure.
     let mut session = Session::builder()
         .source("fn main() -> u32 { return input_byte(0) as u32; }")
         .budgets(Budgets::default().arena_nodes(0))
@@ -75,6 +75,48 @@ fn an_arena_ceiling_of_zero_reports_arena_pressure() {
         .expect_err("a zero arena ceiling must trip");
     assert_eq!(exhausted.stage, Stage::Vm);
     assert_eq!(exhausted.limit, 0);
+}
+
+#[test]
+fn the_arena_ceiling_is_per_epoch_not_per_thread() {
+    // A large recording inside a *dropped* epoch must not count against a
+    // later epoch's ceiling: the budget bounds one unit of work, not the
+    // thread's lifetime.  (Run the probe on a dedicated thread so other
+    // tests sharing this thread's arena cannot inflate the count.)
+    std::thread::spawn(|| {
+        let heavy = r#"
+            fn main() -> u32 {
+                var a: u32 = input_byte(0) as u32;
+                var b: u32 = input_byte(1) as u32;
+                var c: u32 = input_byte(2) as u32;
+                return (a * b + c) * (a + b * c);
+            }
+        "#;
+        {
+            let _epoch = ArenaEpoch::begin();
+            let mut session = Session::builder()
+                .source(heavy)
+                .budgets(Budgets::default())
+                .build()
+                .expect("program builds");
+            session.record_guarded(&[3, 5, 7]).expect("within budget");
+            assert!(ExprArena::node_count() > 8, "the heavy run interned nodes");
+        }
+        assert_eq!(ExprArena::node_count(), 0, "the epoch reclaimed its nodes");
+
+        // The lean recording fits a ceiling the heavy one alone would burst.
+        let _epoch = ArenaEpoch::begin();
+        let mut session = Session::builder()
+            .source("fn main() -> u32 { return input_byte(0) as u32; }")
+            .budgets(Budgets::default().arena_nodes(8))
+            .build()
+            .expect("program builds");
+        session
+            .record_guarded(&[1u8])
+            .expect("a fresh epoch starts the count at zero");
+    })
+    .join()
+    .expect("probe thread survives");
 }
 
 #[test]

@@ -27,6 +27,7 @@ use cp_formats::FormatDescriptor;
 use cp_lang::PatchAction;
 
 pub mod pipeline;
+pub mod synthetic;
 
 /// Which of the paper's error classes a scenario exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

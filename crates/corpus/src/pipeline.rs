@@ -17,15 +17,24 @@
 //! becomes a `failed` row in the table.  Resource ceilings come from
 //! `cp_core::budget`; the deterministic fault points of `cp_core::faults`
 //! let the chaos suite force every one of these paths on demand.
+//!
+//! Sweeps shard across an own-threads worker pool ([`run_scenarios`],
+//! [`SweepOptions`]); each scenario runs inside its own arena epoch so the
+//! sweep's expression memory stays flat however many scenarios it covers,
+//! and rows come back in scenario order so parallel output is byte-identical
+//! to sequential.
 
 use crate::{ErrorClass, Scenario};
 use cp_core::faults::{self, FaultPoint};
 use cp_core::{
-    BudgetExhausted, Budgets, DiscoverConfig, DiscoverOutcome, Discovery, Session, Stage,
-    StageError, TransferError, TransferOutcome, TransferSpec,
+    ArenaEpoch, BudgetExhausted, Budgets, DiscoverConfig, DiscoverOutcome, Discovery, Session,
+    Stage, StageError, TransferError, TransferOutcome, TransferSpec,
 };
 use cp_vm::Termination;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Deliberately unparseable Phage-C, substituted for a scenario's recipient
 /// source by [`FaultPoint::FrontendMalformed`].
@@ -71,6 +80,23 @@ impl ScenarioStatus {
     }
 }
 
+/// Wall-clock nanoseconds one scenario spent in each pipeline stage.
+///
+/// `discover` covers the goal-directed error-input search (zero for the
+/// error classes whose inputs stay hand-written), `record` covers the donor
+/// and recipient instrumented recordings, and `transfer` covers the
+/// translate→insert→validate loop over the donor's candidate checks.  Rows
+/// that failed before reaching a stage report zero for it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNanos {
+    /// Nanoseconds in goal-directed discovery.
+    pub discover: u64,
+    /// Nanoseconds recording the donor and the recipient.
+    pub record: u64,
+    /// Nanoseconds translating, inserting and validating candidate checks.
+    pub transfer: u64,
+}
+
 /// The result of one scenario's end-to-end run.
 #[derive(Debug)]
 pub struct ScenarioOutcome {
@@ -99,6 +125,8 @@ pub struct ScenarioOutcome {
     pub simplified_ops: Option<usize>,
     /// The validated transfer, or the failure rendered.
     pub result: Result<TransferOutcome, String>,
+    /// Per-stage wall-clock timings for this scenario.
+    pub stages: StageNanos,
 }
 
 impl ScenarioOutcome {
@@ -125,6 +153,7 @@ fn failed(scenario: &Scenario, error: StageError) -> ScenarioOutcome {
         raw_ops: None,
         simplified_ops: None,
         result: Err(error.to_string()),
+        stages: StageNanos::default(),
     }
 }
 
@@ -167,6 +196,8 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
 
     // Discover: derive the error input for the overflow class; degrade to
     // the hand-written input when the search exhausts its budget empty.
+    let mut stages = StageNanos::default();
+    let discover_started = Instant::now();
     let mut degraded: Option<String> = None;
     let (error_input, discovery) = if scenario.error_class == ErrorClass::OverflowIntoAllocation {
         match recipient.discover(scenario.benign_input, &DiscoverConfig::default()) {
@@ -190,6 +221,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
     } else {
         (scenario.error_input.to_vec(), None)
     };
+    stages.discover = discover_started.elapsed().as_nanos() as u64;
 
     if faults::fires(FaultPoint::ScenarioPanic) {
         panic!(
@@ -198,6 +230,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         );
     }
 
+    let record_started = Instant::now();
     let mut donor = match Session::builder()
         .source(scenario.donor_source)
         .stripped()
@@ -226,7 +259,9 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
     let analyzed = recipient
         .analyzed()
         .expect("recipient sessions are built from source");
+    stages.record = record_started.elapsed().as_nanos() as u64;
 
+    let transfer_started = Instant::now();
     let spec = recipient.configure_spec(
         TransferSpec::new(&error_input, scenario.benign_corpus).with_action(scenario.patch_action),
     );
@@ -252,6 +287,8 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         }
     }
 
+    stages.transfer = transfer_started.elapsed().as_nanos() as u64;
+
     match transferred {
         Some((raw_ops, simplified_ops, outcome)) => ScenarioOutcome {
             scenario: *scenario,
@@ -266,6 +303,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
             raw_ops: Some(raw_ops),
             simplified_ops: Some(simplified_ops),
             result: Ok(outcome),
+            stages,
         },
         None => {
             let error = match last_error {
@@ -292,9 +330,119 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
                 raw_ops: None,
                 simplified_ops: None,
                 result: Err(error.to_string()),
+                stages,
             }
         }
     }
+}
+
+/// How a batch sweep distributes scenarios across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Worker threads the sweep spawns (clamped to at least one).  Even
+    /// `workers == 1` runs on a spawned worker, never the calling thread:
+    /// each scenario executes inside its own `ArenaEpoch`, and running it on
+    /// the caller would retire expressions the caller may still hold.
+    pub workers: usize,
+}
+
+impl SweepOptions {
+    /// One worker: the scenarios run strictly in order.
+    pub fn sequential() -> Self {
+        SweepOptions { workers: 1 }
+    }
+
+    /// A pool of `workers` threads (clamped to at least one).
+    pub fn with_workers(workers: usize) -> Self {
+        SweepOptions {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Worker count from the `CP_SWEEP_WORKERS` environment variable,
+    /// defaulting to one (sequential) when unset or unparseable.
+    pub fn from_env() -> Self {
+        let workers = std::env::var("CP_SWEEP_WORKERS")
+            .ok()
+            .and_then(|raw| raw.parse::<usize>().ok())
+            .unwrap_or(1);
+        SweepOptions::with_workers(workers)
+    }
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions::sequential()
+    }
+}
+
+/// Sweeps `scenarios` across a pool of worker threads, returning one outcome
+/// per scenario **in scenario order** regardless of which worker finished
+/// when.
+///
+/// Each scenario runs inside its own [`ArenaEpoch`], so the expressions it
+/// interns are reclaimed the moment its row is produced — a thousand-scenario
+/// sweep holds at most `workers` scenarios' worth of arena nodes at any
+/// instant instead of accreting all of them.  ([`ScenarioOutcome`] carries no
+/// `ExprRef`s, so rows outlive their epochs safely.)  Workers claim
+/// scenarios from a shared atomic cursor; a fault armed on the calling
+/// thread (the registry is thread-local) is snapshotted and re-armed on
+/// every worker so chaos injection follows the work onto the pool.
+///
+/// Isolation is per scenario, exactly as in the sequential sweep: a panic
+/// becomes that scenario's `failed` row and the worker moves on.
+pub fn run_scenarios(scenarios: &[Scenario], options: SweepOptions) -> Vec<ScenarioOutcome> {
+    let workers = options.workers.max(1).min(scenarios.len().max(1));
+    let snapshot = faults::snapshot();
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ScenarioOutcome>>> =
+        scenarios.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _armed = faults::arm_snapshot(&snapshot);
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(scenario) = scenarios.get(index) else {
+                        break;
+                    };
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let _epoch = ArenaEpoch::begin();
+                        run_scenario(scenario)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        failed(scenario, StageError::panic(scenario.name, payload.as_ref()))
+                    });
+                    let mut slot = slots[index]
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    *slot = Some(outcome);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .zip(scenarios)
+        .map(|(slot, scenario)| {
+            slot.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .unwrap_or_else(|| {
+                    failed(
+                        scenario,
+                        StageError::panic(scenario.name, &"worker died before storing a row"),
+                    )
+                })
+        })
+        .collect()
+}
+
+/// Runs every corpus scenario through the pipeline with explicit sweep
+/// options; see [`run_scenarios`].
+pub fn run_all_with(options: SweepOptions) -> Vec<ScenarioOutcome> {
+    run_scenarios(&crate::scenarios(), options)
 }
 
 /// Runs every corpus scenario through the pipeline, isolating each behind
@@ -303,15 +451,9 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
 ///
 /// Corpus programs failing to build is also just a failed row now — the
 /// sweep itself never panics and always returns one outcome per scenario.
+/// Worker count comes from `CP_SWEEP_WORKERS` (default: sequential).
 pub fn run_all() -> Vec<ScenarioOutcome> {
-    crate::scenarios()
-        .iter()
-        .map(|scenario| {
-            catch_unwind(AssertUnwindSafe(|| run_scenario(scenario))).unwrap_or_else(|payload| {
-                failed(scenario, StageError::panic(scenario.name, payload.as_ref()))
-            })
-        })
-        .collect()
+    run_all_with(SweepOptions::from_env())
 }
 
 /// Renders one outcome's `discovered` column: `g<generations>/x<executions>`

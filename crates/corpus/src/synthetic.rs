@@ -1,0 +1,178 @@
+//! Synthetic scenario generation for large batch sweeps.
+//!
+//! The hand-written corpus has five scenarios — enough to exercise every
+//! error class, far too few to measure sweep throughput or arena behaviour.
+//! [`synthetic_scenarios`] scales it: each of the five base scenarios gets
+//! four *parameter variants* (a different donor guard threshold, palette
+//! multiplier or scale constant), and the requested count cycles through the
+//! resulting twenty distinct donor/recipient pairs with unique per-index
+//! names.  The variants matter for the solver-verdict memo: a sweep over
+//! them issues twenty distinct circuit families, so the memo's hit rate
+//! reflects genuine structural sharing rather than one query repeated.
+//!
+//! Variant programs are produced by substituting one constant in the base
+//! program's source and leaking the result — a bounded, one-time leak of at
+//! most twenty small programs per process (plus one name per generated
+//! scenario, cached so repeated sweeps reuse them).  Everything else is
+//! inherited from the base [`Scenario`], so the generated inputs, corpora
+//! and formats stay valid by construction.
+
+use crate::Scenario;
+use std::sync::{Mutex, OnceLock};
+
+/// Donor guard thresholds for the two overflow-into-allocation bases.  All
+/// are far above every benign corpus size and far below the overflowed
+/// 64-bit products, so each variant validates exactly like its base while
+/// giving the solver a structurally distinct guard circuit.
+const GUARD_THRESHOLDS: [&str; 4] = ["4294967295", "2147483647", "1073741823", "536870911"];
+
+/// Palette multipliers: the constant appears in both programs, so recording
+/// and validation differ per variant while the transferred bound check stays
+/// `index > 15`.
+const PALETTE_MULTIPLIERS: [&str; 4] = ["17", "19", "23", "29"];
+
+/// Frame-duration numerators for the `return 0` base.
+const FRAME_NUMERATORS: [&str; 4] = ["1000", "1500", "2000", "3000"];
+
+fn leak(source: String) -> &'static str {
+    Box::leak(source.into_boxed_str())
+}
+
+/// A base scenario with one source constant substituted in the recipient
+/// and/or donor.
+fn substituted(
+    base: Scenario,
+    name: &'static str,
+    from: &str,
+    to: &str,
+    donor_only: bool,
+) -> Scenario {
+    let mut variant = base;
+    variant.name = name;
+    variant.donor_source = leak(base.donor_source.replacen(from, to, 1));
+    if !donor_only {
+        variant.source = leak(base.source.replacen(from, to, 1));
+    }
+    variant
+}
+
+/// The twenty distinct donor/recipient variants the generator cycles over.
+fn variants() -> &'static [Scenario; 20] {
+    static VARIANTS: OnceLock<[Scenario; 20]> = OnceLock::new();
+    VARIANTS.get_or_init(|| {
+        let mut out = Vec::with_capacity(20);
+        for (j, threshold) in GUARD_THRESHOLDS.iter().enumerate() {
+            out.push(substituted(
+                crate::IMAGE_ALLOC,
+                leak(format!("syn-img-v{j}")),
+                "4294967295",
+                threshold,
+                true,
+            ));
+        }
+        for (j, threshold) in GUARD_THRESHOLDS.iter().enumerate() {
+            out.push(substituted(
+                crate::CHUNK_ALLOC,
+                leak(format!("syn-chk-v{j}")),
+                "4294967295",
+                threshold,
+                true,
+            ));
+        }
+        for (j, multiplier) in PALETTE_MULTIPLIERS.iter().enumerate() {
+            out.push(substituted(
+                crate::PALETTE_OOB,
+                leak(format!("syn-pal-v{j}")),
+                "17",
+                multiplier,
+                false,
+            ));
+        }
+        for (j, numerator) in FRAME_NUMERATORS.iter().enumerate() {
+            out.push(substituted(
+                crate::FRAME_RATE_DIV,
+                leak(format!("syn-frm-v{j}")),
+                "1000",
+                numerator,
+                false,
+            ));
+        }
+        for j in 0..4 {
+            let mut replica = crate::SAMPLE_DIV;
+            replica.name = leak(format!("syn-snd-v{j}"));
+            out.push(replica);
+        }
+        out.try_into().expect("exactly twenty variants")
+    })
+}
+
+/// The unique name for sweep index `index`, leaked once and cached so every
+/// call to [`synthetic_scenarios`] hands out identical `&'static str`s.
+fn name_for(index: usize) -> &'static str {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let mut names = NAMES
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    while names.len() <= index {
+        let next = names.len();
+        let base = variants()[next % variants().len()].name;
+        names.push(leak(format!("{base}#{next:04}")));
+    }
+    names[index]
+}
+
+/// `count` scenarios cycling the twenty variants, named
+/// `<variant>#<index>` so every row of an arbitrarily large sweep is
+/// unique and the generated list is identical on every call.
+pub fn synthetic_scenarios(count: usize) -> Vec<Scenario> {
+    (0..count)
+        .map(|index| {
+            let mut scenario = variants()[index % variants().len()];
+            scenario.name = name_for(index);
+            scenario
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_generator_cycles_twenty_distinct_variants() {
+        let scenarios = synthetic_scenarios(40);
+        assert_eq!(scenarios.len(), 40);
+        let names: std::collections::HashSet<_> = scenarios.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 40, "every generated name is unique");
+        let programs: std::collections::HashSet<_> = scenarios
+            .iter()
+            .map(|s| (s.source, s.donor_source))
+            .collect();
+        assert_eq!(programs.len(), 17, "20 variants, 4 of them replicas");
+        assert_eq!(scenarios[0].source, scenarios[20].source);
+        assert_eq!(scenarios[0].name, "syn-img-v0#0000");
+        assert_eq!(scenarios[20].name, "syn-img-v0#0020");
+    }
+
+    #[test]
+    fn repeated_calls_generate_the_identical_list() {
+        let first = synthetic_scenarios(25);
+        let second = synthetic_scenarios(25);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.name, b.name);
+            assert!(std::ptr::eq(a.source, b.source));
+            assert!(std::ptr::eq(a.donor_source, b.donor_source));
+        }
+    }
+
+    #[test]
+    fn variants_substitute_the_guard_threshold() {
+        let scenarios = synthetic_scenarios(20);
+        assert!(scenarios[1].donor_source.contains("2147483647"));
+        assert!(!scenarios[1].donor_source.contains("4294967295"));
+        assert_eq!(scenarios[1].source, crate::IMAGE_ALLOC.source);
+        assert!(scenarios[9].source.contains("19"));
+        assert!(scenarios[13].donor_source.contains("1500"));
+    }
+}

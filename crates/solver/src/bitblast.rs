@@ -30,6 +30,8 @@
 
 use cp_symexpr::{BinOp, CastKind, ExprRef, SymExpr, UnOp};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// An AIG literal: `var << 1 | negated`.  Literal 0 is constant false,
 /// literal 1 constant true (variable 0 is reserved for the constant).
@@ -517,24 +519,366 @@ fn decide_root(
     }
 }
 
-fn abandoned(error: BlastError) -> BlastOutcome {
+fn abandon_reason(error: BlastError) -> &'static str {
     match error {
-        BlastError::Unsupported(why) => BlastOutcome::Abandoned(why),
-        BlastError::GateBudget => BlastOutcome::Abandoned("gate budget"),
+        BlastError::Unsupported(why) => why,
+        BlastError::GateBudget => "gate budget",
     }
 }
 
-/// Checks whether `a` and `b` denote the same `u64` value on every input.
+/// A definitive verdict in the process-wide memo, stored positionally:
+/// `Sat` holds one byte per input *position* (the i-th entry is the value
+/// of the i-th offset in the query's sorted support), so a hit can be
+/// re-projected onto a different caller's byte offsets.
+#[derive(Debug, Clone)]
+enum CachedVerdict {
+    Unsat,
+    Sat(Vec<u8>),
+}
+
+/// Hit/miss counters for the process-wide verdict memo.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Queries answered from the memo.
+    pub hits: u64,
+    /// Queries that went to the decision procedure.
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// Fraction of decided queries served from the memo (0.0 when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Entry cap for the verdict memo; reaching it clears the table (the
+/// simplest O(1) eviction — a corpus sweep's working set is far smaller).
+const VERDICT_MEMO_CAP: usize = 1 << 16;
+
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+static VERDICT_MEMO: OnceLock<Mutex<HashMap<(u64, u64), CachedVerdict>>> = OnceLock::new();
+
+fn verdict_memo() -> &'static Mutex<HashMap<(u64, u64), CachedVerdict>> {
+    VERDICT_MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Process-wide memo counters (shared by every thread's queries).
+pub fn memo_stats() -> MemoStats {
+    MemoStats {
+        hits: MEMO_HITS.load(Ordering::Relaxed),
+        misses: MEMO_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Empties the verdict memo and zeroes its counters — for benchmarks and
+/// tests that need a cold start.
+pub fn reset_memo() {
+    let mut memo = verdict_memo().lock().unwrap_or_else(|p| p.into_inner());
+    memo.clear();
+    MEMO_HITS.store(0, Ordering::Relaxed);
+    MEMO_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Positional structural hasher for query expression DAGs — the verdict-memo
+/// key, computed in one DAG walk with **no gate construction**.
 ///
-/// Builds the miter `a ≠ b` (both values zero-extended to a common width,
-/// exactly as the sampling comparison treats `eval` results) and decides it
-/// with the built-in CDCL under `limits`.
-pub fn check_equiv(a: &ExprRef, b: &ExprRef, limits: &BlastLimits) -> BlastOutcome {
+/// The walk assigns each distinct node a dense first-visit id and mixes one
+/// record per node (a tag, the width, the operator, child ids) into two
+/// independent 64-bit FNV-style streams for a 128-bit key.  `InputByte`
+/// leaves (and `Field` byte offsets) are hashed as the *rank* of the offset
+/// in the query's sorted support, so the key describes a function of input
+/// positions and a donor check re-proved at different byte offsets still
+/// hits.  `Field` paths are excluded: the blasted function depends only on
+/// the byte decomposition, never on the label.
+///
+/// Equal keys mean positionally identical expression structure — strictly
+/// finer than the strashed-circuit equality an AIG hash would give, so a
+/// few cross-expression hits are lost, but the probe costs a walk of the
+/// (already simplified, hash-consed) DAG instead of a full miter build.
+/// That is what lets the escalation ladder consult the memo before paying
+/// for any AIG construction.
+struct ExprHasher {
+    h: [u64; 2],
+    /// Node memo key → dense first-visit id.  Node addresses are only
+    /// unique while the query holds its expressions alive, which a hasher
+    /// local to one query call trivially satisfies.
+    ids: HashMap<usize, u64>,
+    /// Input byte offset → rank in the query's sorted support.
+    rank: HashMap<usize, u64>,
+}
+
+impl ExprHasher {
+    fn new(offsets: &[usize]) -> Self {
+        let rank = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, &off)| (off, i as u64))
+            .collect();
+        let mut hasher = ExprHasher {
+            h: [0xCBF2_9CE4_8422_2325, 0x9E37_79B9_7F4A_7C15],
+            ids: HashMap::new(),
+            rank,
+        };
+        hasher.mix(offsets.len() as u64);
+        hasher
+    }
+
+    fn mix(&mut self, v: u64) {
+        for h in self.h.iter_mut() {
+            *h ^= v;
+            *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            *h ^= *h >> 29;
+        }
+    }
+
+    /// The positional encoding of a byte offset.  Offsets outside the
+    /// support cannot produce false hits (both sides of any colliding pair
+    /// would need the same out-of-support offset), so falling back to the
+    /// raw offset only costs precision, never soundness.
+    fn position(&self, offset: usize) -> u64 {
+        self.rank.get(&offset).copied().unwrap_or(offset as u64)
+    }
+
+    /// Walks `root`'s DAG iteratively in post-order, mixing one record per
+    /// *new* node, and returns the root's id.
+    fn visit(&mut self, root: &ExprRef) -> u64 {
+        let mut stack: Vec<(ExprRef, bool)> = vec![(*root, false)];
+        while let Some((e, ready)) = stack.pop() {
+            if self.ids.contains_key(&e.memo_key()) {
+                continue;
+            }
+            if ready {
+                self.record(&e);
+                continue;
+            }
+            match e.as_ref() {
+                SymExpr::Const { .. } | SymExpr::InputByte { .. } | SymExpr::Field { .. } => {
+                    self.record(&e);
+                }
+                SymExpr::Unary { arg, .. } | SymExpr::Cast { arg, .. } => {
+                    stack.push((e, true));
+                    stack.push((*arg, false));
+                }
+                SymExpr::Binary { lhs, rhs, .. } => {
+                    stack.push((e, true));
+                    stack.push((*lhs, false));
+                    stack.push((*rhs, false));
+                }
+            }
+        }
+        self.ids[&root.memo_key()]
+    }
+
+    /// Mixes one node whose children are already recorded and assigns its id.
+    fn record(&mut self, e: &ExprRef) {
+        match e.as_ref() {
+            SymExpr::Const { width, value } => {
+                let value = width.truncate(*value);
+                self.mix(1);
+                self.mix(width.bits() as u64);
+                self.mix(value);
+            }
+            SymExpr::InputByte { offset } => {
+                let position = self.position(*offset);
+                self.mix(2);
+                self.mix(position);
+            }
+            SymExpr::Field { width, offsets, .. } => {
+                self.mix(3);
+                self.mix(width.bits() as u64);
+                self.mix(offsets.len() as u64);
+                for &off in offsets {
+                    let position = self.position(off);
+                    self.mix(position);
+                }
+            }
+            SymExpr::Unary { op, width, arg } => {
+                let child = self.ids[&arg.memo_key()];
+                self.mix(4);
+                self.mix(*op as u64);
+                self.mix(width.bits() as u64);
+                self.mix(child);
+            }
+            SymExpr::Cast { kind, width, arg } => {
+                let child = self.ids[&arg.memo_key()];
+                self.mix(5);
+                self.mix(*kind as u64);
+                self.mix(width.bits() as u64);
+                self.mix(child);
+            }
+            SymExpr::Binary {
+                op,
+                width,
+                lhs,
+                rhs,
+            } => {
+                let left = self.ids[&lhs.memo_key()];
+                let right = self.ids[&rhs.memo_key()];
+                self.mix(6);
+                self.mix(*op as u64);
+                self.mix(width.bits() as u64);
+                self.mix(left);
+                self.mix(right);
+            }
+        }
+        self.ids.insert(e.memo_key(), self.ids.len() as u64);
+    }
+
+    fn digest(&self) -> (u64, u64) {
+        (self.h[0], self.h[1])
+    }
+}
+
+/// Inserts a definitive verdict, clearing the table first when it is full.
+fn memo_insert(key: (u64, u64), verdict: CachedVerdict) {
+    let mut memo = verdict_memo().lock().unwrap_or_else(|p| p.into_inner());
+    if memo.len() >= VERDICT_MEMO_CAP {
+        memo.clear();
+    }
+    memo.insert(key, verdict);
+}
+
+/// A query's memo identity: the positional structural key of its expression
+/// DAG plus the sorted support it was computed over (cached `Sat` models are
+/// positional and decode against that support).
+///
+/// Computing a `QueryKey` walks the expression DAG once and builds **no
+/// gates**, so the escalation ladder probes the memo before any AIG exists;
+/// the circuit is only built on misses that sampling cannot resolve.
+///
+/// Only *definitive* outcomes enter the memo: `Unsat` and `Sat` are
+/// budget-independent truths about the query, while `Abandoned` depends on
+/// the caller's conflict budget and must stay re-decidable (a starved chaos
+/// run must not poison — or be rescued by — a healthy one).
+pub(crate) struct QueryKey {
+    key: (u64, u64),
+    offsets: Vec<usize>,
+}
+
+/// Keys the equivalence query `a ≟ b` over the pair's union support.  Both
+/// DAGs are walked by one hasher, so subexpressions shared between the two
+/// sides are recorded once — mirroring how the blaster would share their
+/// gates.
+pub(crate) fn key_equiv(a: &ExprRef, b: &ExprRef) -> QueryKey {
     let mut offsets: Vec<usize> = a.support().iter().chain(b.support().iter()).collect();
     offsets.sort_unstable();
     offsets.dedup();
+    let mut hasher = ExprHasher::new(&offsets);
+    hasher.mix(1); // query tag: equivalence miter
+    let left = hasher.visit(a);
+    let right = hasher.visit(b);
+    hasher.mix(left);
+    hasher.mix(right);
+    QueryKey {
+        key: hasher.digest(),
+        offsets,
+    }
+}
 
-    let mut blaster = Blaster::new(&offsets, limits.max_gates);
+/// Keys the satisfiability query `expr ≠ 0` over the expression's support.
+pub(crate) fn key_nonzero(expr: &ExprRef) -> QueryKey {
+    let offsets: Vec<usize> = expr.support().iter().collect();
+    let mut hasher = ExprHasher::new(&offsets);
+    hasher.mix(2); // query tag: non-zero satisfiability
+    let root = hasher.visit(expr);
+    hasher.mix(root);
+    QueryKey {
+        key: hasher.digest(),
+        offsets,
+    }
+}
+
+impl QueryKey {
+    /// Probes the verdict memo, counting one hit or one miss; `None` on a
+    /// miss.  A cached `Sat` is re-projected onto this query's byte
+    /// offsets, which is what lets a donor check re-proved at different
+    /// offsets hit.
+    ///
+    /// A zero gate budget bypasses the memo entirely (neither hit nor miss
+    /// is counted): [`super::SolverBudgets::starved`] must behave
+    /// identically on a hot and a cold memo, because chaos-starved
+    /// scenarios are asserted to fail even when a healthy sweep already
+    /// decided their queries.
+    pub(crate) fn probe(&self, limits: &BlastLimits) -> Option<BlastOutcome> {
+        if limits.max_gates == 0 {
+            return None;
+        }
+        let memo = verdict_memo().lock().unwrap_or_else(|p| p.into_inner());
+        match memo.get(&self.key) {
+            Some(hit) => {
+                MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+                Some(match hit {
+                    CachedVerdict::Unsat => BlastOutcome::Unsat,
+                    CachedVerdict::Sat(bytes) => BlastOutcome::Sat(
+                        self.offsets
+                            .iter()
+                            .copied()
+                            .zip(bytes.iter().copied())
+                            .collect(),
+                    ),
+                })
+            }
+            None => {
+                MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a model the ladder's *sampling* stage found, so the next
+    /// identical query probe-hits without sampling.  (Sampling is
+    /// deterministic and positional — the seeded stream assigns the same
+    /// byte sequence to the same support positions — so the cached model is
+    /// exactly what any same-key query's own sampling would produce.)
+    pub(crate) fn cache_model(&self, model: &[(usize, u8)]) {
+        let bytes: Vec<u8> = self
+            .offsets
+            .iter()
+            .map(|off| {
+                model
+                    .iter()
+                    .find(|(o, _)| o == off)
+                    .map(|&(_, b)| b)
+                    .unwrap_or(0)
+            })
+            .collect();
+        memo_insert(self.key, CachedVerdict::Sat(bytes));
+    }
+
+    /// Records a decision-procedure outcome; `Abandoned` never enters.
+    /// `decide_root` emits models in `offsets` order, which *is* the
+    /// positional order the circuit's input variables were allocated in.
+    fn record(&self, outcome: &BlastOutcome) {
+        match outcome {
+            BlastOutcome::Unsat => memo_insert(self.key, CachedVerdict::Unsat),
+            BlastOutcome::Sat(model) => memo_insert(
+                self.key,
+                CachedVerdict::Sat(model.iter().map(|&(_, b)| b).collect()),
+            ),
+            BlastOutcome::Abandoned(_) => {}
+        }
+    }
+}
+
+/// Builds and decides the equivalence miter `a ≠ b` (both values
+/// zero-extended to a common width, exactly as the sampling comparison
+/// treats `eval` results), recording definitive verdicts under `query`.
+/// Never consults the memo — the ladder already probed it (and counted the
+/// miss) before spending samples.
+pub(crate) fn solve_equiv(
+    a: &ExprRef,
+    b: &ExprRef,
+    limits: &BlastLimits,
+    query: &QueryKey,
+) -> BlastOutcome {
+    let mut blaster = Blaster::new(&query.offsets, limits.max_gates);
     let build = |blaster: &mut Blaster| -> Result<Lit, BlastError> {
         let va = blaster.blast(a)?;
         let vb = blaster.blast(b)?;
@@ -549,9 +893,47 @@ pub fn check_equiv(a: &ExprRef, b: &ExprRef, limits: &BlastLimits) -> BlastOutco
         Ok(diff)
     };
     match build(&mut blaster) {
-        Ok(diff) => decide_root(&blaster, diff, &offsets, limits),
-        Err(error) => abandoned(error),
+        Ok(root) => {
+            let outcome = decide_root(&blaster, root, &query.offsets, limits);
+            query.record(&outcome);
+            outcome
+        }
+        Err(error) => BlastOutcome::Abandoned(abandon_reason(error)),
     }
+}
+
+/// Builds and decides the circuit for `expr ≠ 0`, recording definitive
+/// verdicts under `query` exactly as [`solve_equiv`] does.
+pub(crate) fn solve_nonzero(
+    expr: &ExprRef,
+    limits: &BlastLimits,
+    query: &QueryKey,
+) -> BlastOutcome {
+    let mut blaster = Blaster::new(&query.offsets, limits.max_gates);
+    let build = |blaster: &mut Blaster| -> Result<Lit, BlastError> {
+        let bits = blaster.blast(expr)?;
+        blaster.or_reduce(&bits)
+    };
+    match build(&mut blaster) {
+        Ok(root) => {
+            let outcome = decide_root(&blaster, root, &query.offsets, limits);
+            query.record(&outcome);
+            outcome
+        }
+        Err(error) => BlastOutcome::Abandoned(abandon_reason(error)),
+    }
+}
+
+/// Checks whether `a` and `b` denote the same `u64` value on every input.
+///
+/// Probes the process-wide verdict memo by the pair's expression-DAG key,
+/// then builds the miter `a ≠ b` and decides it with the built-in CDCL
+/// under `limits`.
+pub fn check_equiv(a: &ExprRef, b: &ExprRef, limits: &BlastLimits) -> BlastOutcome {
+    let query = key_equiv(a, b);
+    query
+        .probe(limits)
+        .unwrap_or_else(|| solve_equiv(a, b, limits, &query))
 }
 
 /// Checks whether `expr` can evaluate to a non-zero value on some input —
@@ -562,17 +944,10 @@ pub fn check_equiv(a: &ExprRef, b: &ExprRef, limits: &BlastLimits) -> BlastOutco
 /// query abandons on unsupported operators or exhausted budgets exactly as
 /// [`check_equiv`] does.
 pub fn check_nonzero(expr: &ExprRef, limits: &BlastLimits) -> BlastOutcome {
-    let offsets: Vec<usize> = expr.support().iter().collect();
-
-    let mut blaster = Blaster::new(&offsets, limits.max_gates);
-    let build = |blaster: &mut Blaster| -> Result<Lit, BlastError> {
-        let bits = blaster.blast(expr)?;
-        blaster.or_reduce(&bits)
-    };
-    match build(&mut blaster) {
-        Ok(nonzero) => decide_root(&blaster, nonzero, &offsets, limits),
-        Err(error) => abandoned(error),
-    }
+    let query = key_nonzero(expr);
+    query
+        .probe(limits)
+        .unwrap_or_else(|| solve_nonzero(expr, limits, &query))
 }
 
 /// One clause with its learning metadata.
@@ -1404,6 +1779,86 @@ mod tests {
         assert_eq!(
             check_equiv(&a, &b, &limits),
             BlastOutcome::Abandoned("gate budget")
+        );
+    }
+
+    // The verdict-memo tests use delta-based assertions on the global
+    // counters: other tests run concurrently in this process and bump them
+    // too, so the tests assert their own contribution, never totals.
+
+    #[test]
+    fn a_repeated_query_is_a_memo_hit() {
+        let limits = BlastLimits::default();
+        let e = SymExpr::input_byte(2001)
+            .zext(Width::W32)
+            .binop(BinOp::Mul, SymExpr::constant(Width::W32, 3))
+            .binop(BinOp::Eq, SymExpr::constant(Width::W32, 6));
+        let first = check_nonzero(&e, &limits);
+        assert!(matches!(first, BlastOutcome::Sat(_)), "{first:?}");
+        let before = memo_stats();
+        let second = check_nonzero(&e, &limits);
+        assert_eq!(first, second, "a hit must reproduce the verdict exactly");
+        assert!(
+            memo_stats().hits > before.hits,
+            "an identical circuit must be served from the memo"
+        );
+    }
+
+    #[test]
+    fn a_hit_reprojects_the_witness_onto_new_offsets() {
+        // Same boolean function of input *positions*, different byte
+        // offsets: the second query must hit and decode the cached model
+        // against its own offsets.
+        let limits = BlastLimits::default();
+        let at = |offset: usize| {
+            SymExpr::input_byte(offset)
+                .zext(Width::W16)
+                .binop(BinOp::Eq, SymExpr::constant(Width::W16, 77))
+        };
+        let first = check_nonzero(&at(3001), &limits);
+        assert_eq!(first, BlastOutcome::Sat(vec![(3001, 77)]));
+        let before = memo_stats();
+        let second = check_nonzero(&at(3002), &limits);
+        assert_eq!(
+            second,
+            BlastOutcome::Sat(vec![(3002, 77)]),
+            "the cached positional model must decode at the new offset"
+        );
+        assert!(
+            memo_stats().hits > before.hits,
+            "offsets must not enter the circuit key"
+        );
+    }
+
+    #[test]
+    fn abandoned_verdicts_are_not_cached() {
+        // An associativity miter — (x+y)+z vs x+(y+z) — builds *different*
+        // gates (strashing cannot collapse it) and its UNSAT proof needs
+        // real CDCL search: with a zero conflict budget it abandons, and
+        // that non-verdict must not poison the memo — a later, properly
+        // budgeted run must decide it for real.
+        let x = SymExpr::input_byte(4001).zext(Width::W16);
+        let y = SymExpr::input_byte(4002).zext(Width::W16);
+        let z = SymExpr::input_byte(4003).zext(Width::W16);
+        let a = x.binop(BinOp::Add, y).binop(BinOp::Add, z);
+        let b = x.binop(BinOp::Add, y.binop(BinOp::Add, z));
+        let starved = BlastLimits {
+            max_gates: 100_000,
+            max_conflicts: 0,
+        };
+        assert_eq!(
+            check_equiv(&a, &b, &starved),
+            BlastOutcome::Abandoned("conflict budget")
+        );
+        let before = memo_stats();
+        assert_eq!(
+            check_equiv(&a, &b, &BlastLimits::default()),
+            BlastOutcome::Unsat,
+            "addition associates"
+        );
+        assert!(
+            memo_stats().misses > before.misses,
+            "the abandoned attempt must not have seeded the memo"
         );
     }
 }

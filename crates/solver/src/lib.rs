@@ -30,7 +30,8 @@ pub mod bitblast;
 pub mod differential;
 pub mod translate;
 
-use bitblast::{check_equiv, check_nonzero, BlastLimits, BlastOutcome};
+use bitblast::{key_equiv, key_nonzero, solve_equiv, solve_nonzero, BlastLimits, BlastOutcome};
+pub use bitblast::{memo_stats as solver_memo_stats, reset_memo as reset_solver_memo, MemoStats};
 use cp_symexpr::eval::eval;
 use cp_symexpr::rewrite::simplify;
 use cp_symexpr::ExprRef;
@@ -297,14 +298,19 @@ impl SampleSolver {
 ///
 /// 1. **structural** — hash-consed handles, and their [`simplify`]d forms,
 ///    are compared by pointer;
-/// 2. **sampling** — [`SampleSolver`] hunts for a cheap refutation witness;
-/// 3. **bit-blast** — the miter goes through [`bitblast::check_equiv`]:
-///    `Unsat` is a proof, a model is a (re-validated) witness;
-/// 4. **exhaustive enumeration** — when the blaster abandons (symbolic
+/// 2. **verdict memo** — the process-wide verdict memo is probed by a
+///    positional structural hash of the simplified expression DAG (one
+///    cheap walk, no gate construction): a batch sweep re-proving the same
+///    donor check answers repeats in one hash;
+/// 3. **sampling** — [`SampleSolver`] hunts for a cheap refutation witness
+///    (found witnesses are recorded into the memo);
+/// 4. **bit-blast** — the miter goes through CDCL: `Unsat` is a proof, a
+///    model is a (re-validated) witness; definitive verdicts are memoized;
+/// 5. **exhaustive enumeration** — when the blaster abandons (symbolic
 ///    division, budget) and the union support is small enough that every
 ///    byte environment fits in [`Solver::exhaustive_budget`] evaluations,
 ///    enumeration decides the query exactly;
-/// 5. otherwise **Unknown**.
+/// 6. otherwise **Unknown**.
 #[derive(Debug, Clone, Copy)]
 pub struct Solver {
     /// Sampling refuter used as a pre-filter.
@@ -408,19 +414,37 @@ impl Solver {
             return Equivalence::Proved;
         }
 
-        if let refuted @ Equivalence::Refuted { .. } = self.sampler.equivalent(&sa, &sb) {
-            return refuted;
+        // Probe the process-wide verdict memo by the simplified pair's
+        // positional expression-DAG key — one cheap walk, no circuit
+        // construction: across a batch sweep the same donor check is
+        // re-proved for scenario after scenario, and a hit answers before
+        // any sampling or gate building happens.
+        let query = key_equiv(&sa, &sb);
+        match query.probe(&self.limits) {
+            Some(BlastOutcome::Unsat) => return Equivalence::Proved,
+            // Defensive guard: a witness the original expressions do not
+            // actually disagree on is a solver bug, not a refutation; fall
+            // through to the full ladder.
+            Some(BlastOutcome::Sat(witness)) if witness_disagrees(a, b, &witness) => {
+                return Equivalence::Refuted { witness };
+            }
+            _ => {}
+        }
+
+        if let Equivalence::Refuted { witness } = self.sampler.equivalent(&sa, &sb) {
+            // A sampling witness is a model of the miter: record it so the
+            // next identical query skips sampling too.
+            query.cache_model(&witness);
+            return Equivalence::Refuted { witness };
         }
         if !sa.is_tainted() && !sb.is_tainted() {
             // Input-independent and the single sampling evaluation agreed.
             return Equivalence::Proved;
         }
 
-        match check_equiv(&sa, &sb, &self.limits) {
+        match solve_equiv(&sa, &sb, &self.limits, &query) {
             BlastOutcome::Unsat => Equivalence::Proved,
             BlastOutcome::Sat(witness) => {
-                // Defensive: a witness the original expressions do not
-                // actually disagree on is a solver bug, not a refutation.
                 if witness_disagrees(a, b, &witness) {
                     Equivalence::Refuted { witness }
                 } else {
@@ -440,13 +464,16 @@ impl Solver {
     /// instead of being treated as a refutation witness.  Escalation order:
     ///
     /// 1. **constant fold** — a [`simplify`]d constant decides outright;
-    /// 2. **sampling** — the seeded deterministic environment stream hunts
-    ///    for a cheap model (and handles operators the blaster abandons);
-    /// 3. **bit-blast** — [`bitblast::check_nonzero`]: `Unsat` is a proof of
+    /// 2. **verdict memo** — the process-wide memo is probed by the goal's
+    ///    expression-DAG hash, before any sampling or circuit building;
+    /// 3. **sampling** — the seeded deterministic environment stream hunts
+    ///    for a cheap model (recorded into the memo when found; sampling
+    ///    also handles operators the blaster abandons);
+    /// 4. **bit-blast** — CDCL over the circuit: `Unsat` is a proof of
     ///    unsatisfiability, a model is re-validated by evaluation;
-    /// 4. **exhaustive enumeration** over small supports when the blaster
+    /// 5. **exhaustive enumeration** over small supports when the blaster
     ///    abandons; otherwise
-    /// 5. **Unknown**.
+    /// 6. **Unknown**.
     pub fn solve(&self, cond: &ExprRef) -> Satisfiability {
         let sc = simplify(cond);
         if let Some(value) = sc.as_const() {
@@ -456,20 +483,38 @@ impl Solver {
                 Satisfiability::Unsat
             };
         }
+        // Probe the verdict memo by the goal's expression-DAG key before
+        // sampling; a batch sweep re-issues the same discovery goal for
+        // scenario after scenario, and a hit skips the whole sampling
+        // stream without building a single gate.
+        let query = key_nonzero(&sc);
+        match query.probe(&self.limits) {
+            Some(BlastOutcome::Unsat) => return Satisfiability::Unsat,
+            // Defensive guard: the model must satisfy the *original*
+            // condition; otherwise fall through to the full ladder.
+            Some(BlastOutcome::Sat(model)) if eval_model(cond, &model) != 0 => {
+                return Satisfiability::Sat { model };
+            }
+            _ => {}
+        }
+
         if let Some(model) = self.sampler.find_model(&sc) {
             // Defensive: the model must satisfy the *original* condition.
             if eval_model(cond, &model) != 0 {
+                // Record the sampling model so the next identical query
+                // probe-hits without sampling.
+                query.cache_model(&model);
                 return Satisfiability::Sat { model };
             }
         }
-        match check_nonzero(&sc, &self.limits) {
+        match solve_nonzero(&sc, &self.limits, &query) {
             BlastOutcome::Unsat => Satisfiability::Unsat,
             BlastOutcome::Sat(model) => {
                 if eval_model(cond, &model) != 0 {
                     Satisfiability::Sat { model }
                 } else {
-                    // A model the original condition rejects is a solver bug,
-                    // not a satisfying environment.
+                    // A model the original condition rejects is a solver
+                    // bug, not a satisfying environment.
                     Satisfiability::Unknown
                 }
             }

@@ -48,11 +48,19 @@ impl ByteVal {
 /// A value decomposed into bytes, least significant first.
 pub type ByteVector = Vec<ByteVal>;
 
+/// The decomposition memo for one arena generation — keyed by the dense node
+/// id and stamped with the arena identity, so an arena reset (which may
+/// recycle both addresses and ids) can never serve a stale entry.
+#[derive(Default)]
+struct Memo {
+    stamp: crate::arena::memo::Stamp,
+    map: HashMap<u32, Option<ByteVector>>,
+}
+
 thread_local! {
-    /// Per-thread memo: node key (the immortal node address — collision-free
-    /// even for handles from another thread's arena) → decomposition (or
-    /// proof that none exists).
-    static MEMO: RefCell<HashMap<usize, Option<ByteVector>>> = RefCell::new(HashMap::new());
+    /// Per-thread memo: node id → decomposition (or proof that none
+    /// exists), scoped to one arena epoch.
+    static MEMO: RefCell<Memo> = RefCell::new(Memo::default());
 }
 
 /// Attempts to decompose `expr` into independent bytes.
@@ -62,13 +70,20 @@ thread_local! {
 /// symbolic operands), mirroring the paper's restriction that the rules only
 /// apply when the operand is a concatenation of independent bytes.
 pub fn decompose(expr: &ExprRef) -> Option<ByteVector> {
-    let key = expr.memo_key();
-    if let Some(hit) = MEMO.with(|memo| memo.borrow().get(&key).cloned()) {
+    let key = expr.id().index();
+    let hit = MEMO.with(|memo| {
+        let memo = &mut *memo.borrow_mut();
+        crate::arena::memo::roll(&mut memo.stamp, &mut memo.map);
+        memo.map.get(&key).cloned()
+    });
+    if let Some(hit) = hit {
         return hit;
     }
     let result = decompose_node(expr);
     MEMO.with(|memo| {
-        memo.borrow_mut().insert(key, result.clone());
+        let memo = &mut *memo.borrow_mut();
+        crate::arena::memo::roll(&mut memo.stamp, &mut memo.map);
+        memo.map.insert(key, result.clone());
     });
     result
 }

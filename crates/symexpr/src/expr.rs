@@ -22,6 +22,19 @@ use std::ops::Deref;
 ///
 /// `ExprRef` dereferences to [`SymExpr`], so consumers pattern-match nodes
 /// exactly as they would with an `Arc<SymExpr>`.
+///
+/// # Ownership rule
+///
+/// A handle is only valid **on the thread that interned it, during the
+/// arena epoch that interned it**.  Moving a handle across threads or
+/// holding it past an [`ArenaEpoch`](crate::ArenaEpoch) drop /
+/// [`ExprArena::reset`] is a contract violation: the node may be freed
+/// (release builds) and the dense [`ExprId`] would silently index a
+/// different arena.  Debug builds stamp every node with its `(arena,
+/// epoch)` identity and panic on any dereference of a stale or foreign
+/// handle; release builds elide the check.  Data that must outlive an epoch
+/// or cross a thread boundary (pipeline outcomes, witnesses, reports) must
+/// be rendered down to plain values first.
 #[derive(Clone, Copy)]
 pub struct ExprRef {
     pub(crate) node: &'static Node,
@@ -34,29 +47,55 @@ impl ExprRef {
         ExprArena::intern(expr)
     }
 
+    /// Debug-build enforcement of the ownership rule: panics when the node's
+    /// `(arena, epoch)` stamp is not the calling thread's current identity.
+    /// Release builds compile this to nothing.
+    #[inline]
+    fn check_live(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let current = crate::arena::current_identity();
+            let stamp = self.node.stamp;
+            assert!(
+                stamp == current,
+                "stale ExprRef: node was interned by arena {} epoch {}, but this thread's arena \
+                 is {} epoch {} — an ExprRef must not outlive its ArenaEpoch or cross threads",
+                stamp.arena,
+                stamp.epoch,
+                current.arena,
+                current.epoch,
+            );
+        }
+    }
+
     /// The stable id of this node within the thread's arena.
     pub fn id(&self) -> ExprId {
+        self.check_live();
         self.node.id
     }
 
     /// The width of the value this expression denotes (memoised).
     pub fn width(&self) -> Width {
+        self.check_live();
         self.node.meta.width
     }
 
     /// Returns the constant value if this expression is a constant.
     pub fn as_const(&self) -> Option<u64> {
+        self.check_live();
         self.node.expr.as_const()
     }
 
     /// Whether the expression contains any tainted leaf (memoised).
     pub fn is_tainted(&self) -> bool {
+        self.check_live();
         self.node.meta.tainted
     }
 
     /// Number of nodes in the expression tree, counting shared subtrees once
     /// per occurrence (memoised; saturates at `usize::MAX`).
     pub fn node_count(&self) -> usize {
+        self.check_live();
         usize::try_from(self.node.meta.node_count).unwrap_or(usize::MAX)
     }
 
@@ -64,26 +103,32 @@ impl ExprRef {
     /// (memoised; saturates at `usize::MAX`).  This is the paper's Figure 8
     /// "Check Size" metric.
     pub fn op_count(&self) -> usize {
+        self.check_live();
         usize::try_from(self.node.meta.op_count).unwrap_or(usize::MAX)
     }
 
     /// The input byte offsets the expression depends on (memoised).
     pub fn support(&self) -> &SupportSet {
+        self.check_live();
         &self.node.meta.support
     }
 
-    pub(crate) fn meta(&self) -> &'static Meta {
+    pub(crate) fn meta(&self) -> &Meta {
+        self.check_live();
         &self.node.meta
     }
 
-    /// A globally unique key for this node: its (leaked, immortal) address.
+    /// A key for this node that is unique *within the current epoch*: its
+    /// node address.
     ///
-    /// Within one thread this is 1:1 with [`id`](Self::id); unlike the dense
-    /// id it never collides between nodes of *different* threads' arenas, so
-    /// memo tables keyed by it stay correct when a handle crosses threads.
-    /// Downstream passes (the solver's bit-blaster, check translation) key
-    /// their per-call memo tables by it for the same reason.
+    /// Within one thread and epoch this is 1:1 with [`id`](Self::id).
+    /// Downstream passes (the solver's bit-blaster, check translation, DAG
+    /// walks) key their **per-call** memo tables by it — such tables never
+    /// outlive an epoch, so address reuse across resets cannot alias.  The
+    /// long-lived thread-local memos (simplify, decompose) instead key by
+    /// `(arena identity, ExprId)` and clear when the epoch rolls.
     pub fn memo_key(&self) -> usize {
+        self.check_live();
         self.node as *const Node as usize
     }
 }
@@ -92,12 +137,14 @@ impl Deref for ExprRef {
     type Target = SymExpr;
 
     fn deref(&self) -> &SymExpr {
+        self.check_live();
         &self.node.expr
     }
 }
 
 impl AsRef<SymExpr> for ExprRef {
     fn as_ref(&self) -> &SymExpr {
+        self.check_live();
         &self.node.expr
     }
 }
@@ -118,12 +165,14 @@ impl std::hash::Hash for ExprRef {
 
 impl fmt::Debug for ExprRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.check_live();
         fmt::Debug::fmt(&self.node.expr, f)
     }
 }
 
 impl fmt::Display for ExprRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.check_live();
         fmt::Display::fmt(&self.node.expr, f)
     }
 }

@@ -15,7 +15,10 @@
 //! node at intern time (see [`arena`] for the design and its invariants).
 //! Passes that walk expressions ([`rewrite::simplify`], [`bytes::decompose`])
 //! memoise their results per interned node, so subtrees shared across
-//! thousands of recorded branch conditions are processed once per thread.
+//! thousands of recorded branch conditions are processed once per thread and
+//! arena epoch.  Arenas are **epoch-scoped**: an [`ArenaEpoch`] guard (or
+//! [`ExprArena::reset`]) reclaims every node, hash-cons entry and dependent
+//! memo when a unit of work ends — see [`arena`] for the ownership rule.
 //!
 //! The crate also implements the bit-manipulation rewrite rules of Figure 5 of
 //! the paper (and their generalisation to 8/16/32/64-bit operands) in
@@ -48,7 +51,7 @@ pub mod support;
 pub mod walk;
 pub mod width;
 
-pub use arena::{ExprArena, ExprId};
+pub use arena::{ArenaEpoch, ExprArena, ExprId};
 pub use expr::{ExprBuild, ExprRef, SymExpr};
 pub use op::{BinOp, CastKind, UnOp};
 pub use overflow::{overflow_conditions, overflow_goal};

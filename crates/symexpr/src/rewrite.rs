@@ -82,30 +82,49 @@ impl SimplifyOptions {
     }
 }
 
+/// The simplification memo for one arena generation: entries are only
+/// consulted while `stamp` matches the thread's current arena identity, and
+/// the whole table drops the first time it is touched after an epoch roll.
+/// Keying by the dense `ExprId` (valid per epoch) instead of the node
+/// address means a reset can never alias — a recycled address or id from a
+/// later epoch finds an empty table, not a stale entry.
+#[derive(Default)]
+struct Memo {
+    stamp: crate::arena::memo::Stamp,
+    map: HashMap<(u32, u8), ExprRef>,
+}
+
 thread_local! {
-    /// Per-thread memo: (node key, option set) → simplified node.
-    ///
-    /// The key is the node's immortal address (1:1 with its `ExprId` within a
-    /// thread, but — unlike the dense id — collision-free for handles that
-    /// crossed threads), nodes are immutable and simplification is
-    /// deterministic, so entries never invalidate.
-    static MEMO: RefCell<HashMap<(usize, u8), ExprRef>> = RefCell::new(HashMap::new());
+    /// Per-thread memo: (node id, option set) → simplified node, scoped to
+    /// one arena epoch.  Nodes are immutable and simplification is
+    /// deterministic, so entries never invalidate *within* an epoch.
+    static MEMO: RefCell<Memo> = RefCell::new(Memo::default());
 }
 
 fn memo_get(expr: ExprRef, opts: u8) -> Option<ExprRef> {
-    MEMO.with(|memo| memo.borrow().get(&(expr.memo_key(), opts)).copied())
+    MEMO.with(|memo| {
+        let memo = &mut *memo.borrow_mut();
+        crate::arena::memo::roll(&mut memo.stamp, &mut memo.map);
+        memo.map.get(&(expr.id().index(), opts)).copied()
+    })
 }
 
 fn memo_put(expr: ExprRef, opts: u8, result: ExprRef) {
     MEMO.with(|memo| {
-        memo.borrow_mut().insert((expr.memo_key(), opts), result);
+        let memo = &mut *memo.borrow_mut();
+        crate::arena::memo::roll(&mut memo.stamp, &mut memo.map);
+        memo.map.insert((expr.id().index(), opts), result);
     });
 }
 
-/// Number of memoised simplification results on this thread (all option
-/// combinations).
+/// Number of memoised simplification results on this thread for the current
+/// arena epoch (all option combinations).
 pub fn memo_len() -> usize {
-    MEMO.with(|memo| memo.borrow().len())
+    MEMO.with(|memo| {
+        let memo = &mut *memo.borrow_mut();
+        crate::arena::memo::roll(&mut memo.stamp, &mut memo.map);
+        memo.map.len()
+    })
 }
 
 /// Simplifies an expression with the default (full) rule set.
