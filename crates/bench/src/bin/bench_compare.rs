@@ -50,6 +50,12 @@ const COUNTER_GATED: &[(&str, &str, f64)] = &[
     // variants), so growth means structural sharing broke — new circuits
     // per scenario, or a memo that stopped hitting.
     ("sweep", "solver_memo_misses", 1.5),
+    // Pooled subscribed-tracing overhead on recording (traced / untraced
+    // median sums).  Sits at ~1.0x — span guards run at stage boundaries
+    // only — and `benches/obs.rs` asserts the ≤1.05x absolute bound on full
+    // runs; a 1.5x fresh/baseline ratio here means a span or event crept
+    // into a per-instruction path.
+    ("obs", "trace_overhead_p50", 1.5),
     // The peak arena node count is the largest *single scenario's* epoch,
     // not the sweep's sum; growth across the baseline means either a
     // scenario got heavier or epochs stopped reclaiming.

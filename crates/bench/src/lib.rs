@@ -288,6 +288,16 @@ pub mod json {
                         b'n' => '\n',
                         b't' => '\t',
                         b'r' => '\r',
+                        // `\uXXXX` — the form cp-obs escapes control
+                        // characters into (surrogate pairs unsupported, as
+                        // neither emitter produces them).
+                        b'u' => {
+                            let hex = bytes.get(*pos + 1..*pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            *pos += 4;
+                            char::from_u32(code)?
+                        }
                         _ => return None,
                     };
                     out.push(escaped);

@@ -68,6 +68,23 @@ impl fmt::Display for BudgetExhausted {
 
 impl std::error::Error for BudgetExhausted {}
 
+impl BudgetExhausted {
+    /// Reports the exhaustion to the observability layer — a structured
+    /// `BudgetExhausted` event (scenario/span attribution attached by the
+    /// subscriber) plus the `budget.exhausted{stage}` counter — and returns
+    /// `self`, so every construction site just wraps the error it is about
+    /// to return.  Exhaustion is rare by design, so the registry lookup
+    /// costs nothing on healthy runs.
+    pub fn noted(self) -> Self {
+        cp_obs::metrics::counter_with("budget.exhausted", &self.stage.to_string()).inc();
+        cp_obs::event!(BudgetExhausted {
+            stage: self.stage.to_string(),
+            limit: self.limit
+        });
+        self
+    }
+}
+
 /// Every per-stage ceiling one [`Session`](crate::Session) honours.
 ///
 /// The defaults reproduce the limits the pipeline has always run with, so a
@@ -173,7 +190,8 @@ impl Deadline {
             Some(expires) if Instant::now() >= expires => Err(BudgetExhausted {
                 stage,
                 limit: self.millis,
-            }),
+            }
+            .noted()),
             _ => Ok(()),
         }
     }

@@ -105,6 +105,10 @@ impl Drop for ScenarioScope {
 /// `target`.  At most one fault is armed per thread; arming replaces any
 /// previous one.
 pub fn arm(point: FaultPoint, target: &str) -> FaultGuard {
+    cp_obs::event!(FaultArmed {
+        point: format!("{point:?}"),
+        target: target.to_string()
+    });
     ARMED.with(|armed| {
         *armed.borrow_mut() = Some(Armed {
             point,
@@ -154,14 +158,20 @@ pub fn arm_snapshot(snapshot: &FaultSnapshot) -> Option<FaultGuard> {
 /// This is the single question every injection point asks; with nothing
 /// armed it is one thread-local read.
 pub fn fires(point: FaultPoint) -> bool {
-    ARMED.with(|armed| {
+    let fired = ARMED.with(|armed| {
         let armed = armed.borrow();
         let Some(armed) = armed.as_ref() else {
             return false;
         };
         armed.point == point
             && CURRENT.with(|current| current.borrow().as_deref() == Some(armed.target.as_str()))
-    })
+    });
+    if fired {
+        cp_obs::event!(FaultFired {
+            point: format!("{point:?}")
+        });
+    }
+    fired
 }
 
 /// The seeded schedule: picks which of `names` a chaos round targets.

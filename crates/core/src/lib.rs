@@ -615,6 +615,7 @@ impl Session {
     /// unsatisfiable the search flips one path constraint at a time (a
     /// bounded generational search; see [`cp_diode::discover`]).
     pub fn discover(&mut self, benign: &[u8], config: &DiscoverConfig) -> DiscoverOutcome {
+        let _span = cp_obs::span!("discover");
         let mut config = *config;
         config.max_executions = config.max_executions.min(self.budgets.discovery_executions);
         // The session's gate/conflict/exhaustive ceilings apply; the sample
@@ -670,7 +671,8 @@ impl Session {
             return Err(BudgetExhausted {
                 stage: Stage::Vm,
                 limit,
-            });
+            }
+            .noted());
         }
         let arena_cap = if faults::fires(faults::FaultPoint::ArenaPressure) {
             Some(0)
@@ -687,7 +689,8 @@ impl Session {
                 return Err(BudgetExhausted {
                     stage: Stage::Vm,
                     limit: cap,
-                });
+                }
+                .noted());
             }
         }
         Ok(trace)
@@ -696,6 +699,7 @@ impl Session {
     /// Records one instrumented execution on an explicit input, leaving the
     /// configured input untouched.
     pub fn record_with_input(&mut self, input: &[u8]) -> Trace {
+        let _span = cp_obs::span!("record");
         let mut recorder = TraceRecorder::new();
         let fn_debug = self.scope_debug();
         let mut scopes = ScopeRecorder::new(fn_debug.clone());
@@ -707,6 +711,17 @@ impl Session {
             };
             run_with_observer(&self.program, input, &self.config, &mut fanout)
         };
+        // Feed the always-on registry: total instructions executed and the
+        // arena high-water mark.  Handles are cached so each recording pays
+        // two relaxed atomic ops, not a registry lookup.
+        static VM_STEPS: OnceLock<&'static cp_obs::metrics::Counter> = OnceLock::new();
+        static ARENA_PEAK: OnceLock<&'static cp_obs::metrics::Gauge> = OnceLock::new();
+        VM_STEPS
+            .get_or_init(|| cp_obs::metrics::counter("vm.steps"))
+            .add(result.steps);
+        ARENA_PEAK
+            .get_or_init(|| cp_obs::metrics::gauge("arena.peak_nodes"))
+            .set_max(ExprArena::node_count() as u64);
         let block_profile = BlockProfile::from_stmt_ends(&recorder.stmt_ends, &fn_debug);
         Trace {
             branches: recorder.branches,

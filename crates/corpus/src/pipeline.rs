@@ -40,6 +40,65 @@ use std::time::Instant;
 /// source by [`FaultPoint::FrontendMalformed`].
 const MALFORMED_SOURCE: &str = "fn main( { this is not phage-c ]";
 
+/// Why a scenario degraded — the closed, enum-backed set of recoverable
+/// stage failures.
+///
+/// Each variant has a stable machine-readable [`code`](DegradedReason::code)
+/// (the string carried by `Degraded` trace events, pinned by
+/// `degraded_reason_codes_are_pinned`) and a human rendering (`Display`)
+/// carrying the variant's diagnostic numbers.  Adding a variant means adding
+/// a code to [`DegradedReason::ALL_CODES`] — the pinning test fails
+/// otherwise, which is the point: trace consumers grep by code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// Goal-directed discovery exhausted its search without generating an
+    /// error input; the scenario fell back to the hand-written one.
+    DiscoveryExhausted {
+        /// Program executions the search spent.
+        executions: usize,
+        /// Tainted allocation sites whose overflow goals were attempted.
+        sites: usize,
+        /// Solver satisfiability queries issued.
+        queries: usize,
+        /// Whether the execution budget (rather than the frontier) ran out.
+        budget_exhausted: bool,
+    },
+}
+
+impl DegradedReason {
+    /// Every stable reason code, in declaration order.
+    pub const ALL_CODES: [&'static str; 1] = ["discovery-exhausted"];
+
+    /// The stable, greppable reason code carried by `Degraded` trace events.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DegradedReason::DiscoveryExhausted { .. } => "discovery-exhausted",
+        }
+    }
+}
+
+impl std::fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedReason::DiscoveryExhausted {
+                executions,
+                sites,
+                queries,
+                budget_exhausted,
+            } => write!(
+                f,
+                "discovery found no error input ({executions} executions, {sites} sites, \
+                 {queries} queries{}); fell back to the hand-written one",
+                if *budget_exhausted {
+                    ", budget exhausted"
+                } else {
+                    ""
+                },
+            ),
+        }
+    }
+}
+
 /// How one scenario's sweep ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScenarioStatus {
@@ -50,7 +109,7 @@ pub enum ScenarioStatus {
     /// input was used instead).
     Degraded {
         /// What degraded and how it was recovered.
-        reason: String,
+        reason: DegradedReason,
     },
     /// The scenario produced no validated patch.
     Failed(StageError),
@@ -177,6 +236,23 @@ fn failed(scenario: &Scenario, error: StageError) -> ScenarioOutcome {
 /// (An *injected* chaos panic — [`FaultPoint::ScenarioPanic`] — does unwind,
 /// which is exactly what [`run_all`]'s isolation is there to catch.)
 pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    // The scenario span starts scenario attribution: every stage span and
+    // event inside — on this thread — inherits the name.  Wall time and the
+    // epoch's arena node count land in the always-on registry, which is
+    // where `figure8_with`'s runtime columns read them back from.
+    let _span = cp_obs::span!("scenario", scenario = scenario.name);
+    let started = Instant::now();
+    let outcome = run_scenario_inner(scenario);
+    cp_obs::metrics::gauge_with("scenario.wall_ns", scenario.name)
+        .set(started.elapsed().as_nanos() as u64);
+    // Nodes only accrete within an epoch and `run_scenarios` gives each
+    // scenario its own, so the current count *is* the scenario's peak.
+    cp_obs::metrics::gauge_with("scenario.arena_nodes", scenario.name)
+        .set(cp_core::ExprArena::node_count() as u64);
+    outcome
+}
+
+fn run_scenario_inner(scenario: &Scenario) -> ScenarioOutcome {
     let _scope = faults::enter_scenario(scenario.name);
     let format = scenario.format();
 
@@ -198,23 +274,21 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
     // the hand-written input when the search exhausts its budget empty.
     let mut stages = StageNanos::default();
     let discover_started = Instant::now();
-    let mut degraded: Option<String> = None;
+    let mut degraded: Option<DegradedReason> = None;
     let (error_input, discovery) = if scenario.error_class == ErrorClass::OverflowIntoAllocation {
         match recipient.discover(scenario.benign_input, &DiscoverConfig::default()) {
             DiscoverOutcome::Found(found) => (found.input.clone(), Some(found)),
             DiscoverOutcome::NoTargetReachable(report) => {
-                degraded = Some(format!(
-                    "discovery found no error input ({} executions, {} sites, {} queries{}); \
-                     fell back to the hand-written one",
-                    report.executions,
-                    report.sites_examined,
-                    report.solver_queries,
-                    if report.budget_exhausted {
-                        ", budget exhausted"
-                    } else {
-                        ""
-                    },
-                ));
+                let reason = DegradedReason::DiscoveryExhausted {
+                    executions: report.executions,
+                    sites: report.sites_examined,
+                    queries: report.solver_queries,
+                    budget_exhausted: report.budget_exhausted,
+                };
+                cp_obs::event!(Degraded {
+                    reason: reason.code().to_string()
+                });
+                degraded = Some(reason);
                 (scenario.error_input.to_vec(), None)
             }
         }
@@ -313,7 +387,8 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
                     BudgetExhausted {
                         stage: Stage::Validation,
                         limit: limit as u64,
-                    },
+                    }
+                    .noted(),
                 ),
                 Some(error @ TransferError::AllPlansFailed { .. }) => {
                     StageError::validation(scenario.name, error)
@@ -392,6 +467,12 @@ impl Default for SweepOptions {
 /// Isolation is per scenario, exactly as in the sequential sweep: a panic
 /// becomes that scenario's `failed` row and the worker moves on.
 pub fn run_scenarios(scenarios: &[Scenario], options: SweepOptions) -> Vec<ScenarioOutcome> {
+    // The sweep span is the trace root; workers re-attach the dispatcher's
+    // observability context (captured *inside* the span) exactly like the
+    // fault snapshot below, so every worker-side scenario span parents here
+    // and reports to the dispatcher's collector.
+    let _sweep = cp_obs::span!("sweep");
+    let obs_context = cp_obs::context();
     let workers = options.workers.max(1).min(scenarios.len().max(1));
     let snapshot = faults::snapshot();
     let cursor = AtomicUsize::new(0);
@@ -402,6 +483,7 @@ pub fn run_scenarios(scenarios: &[Scenario], options: SweepOptions) -> Vec<Scena
         for _ in 0..workers {
             scope.spawn(|| {
                 let _armed = faults::arm_snapshot(&snapshot);
+                let _attached = cp_obs::attach(&obs_context);
                 loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(scenario) = scenarios.get(index) else {
@@ -465,11 +547,54 @@ fn discovered_cell(outcome: &ScenarioOutcome) -> String {
     }
 }
 
+/// Optional columns for [`figure8_with`].
+///
+/// The default renders exactly the historic [`figure8`] table — parallel,
+/// chaos and batch tests assert that output byte for byte, so anything
+/// optional must be off unless asked for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Figure8Options {
+    /// Adds per-scenario `wall-ms` and `arena-nodes` columns, read back from
+    /// the `cp-obs` registry gauges (`scenario.wall_ns{name}`,
+    /// `scenario.arena_nodes{name}`) the sweep published.  Scenarios the
+    /// current process never swept render `-`.
+    pub runtime_columns: bool,
+}
+
+/// The two runtime cells for `scenario` (leading space included), or header
+/// cells when `None`; empty when the columns are off.
+fn runtime_cells(options: &Figure8Options, scenario: Option<&str>) -> String {
+    use cp_obs::metrics::MetricValue;
+    if !options.runtime_columns {
+        return String::new();
+    }
+    let Some(name) = scenario else {
+        return format!(" {:>8} {:>11}", "wall-ms", "arena-nodes");
+    };
+    let gauge = |metric: &str| match cp_obs::metrics::find(&format!("{metric}{{{name}}}")) {
+        Some(MetricValue::Gauge(value)) if value > 0 => Some(value),
+        _ => None,
+    };
+    let wall = gauge("scenario.wall_ns")
+        .map(|ns| format!("{:.1}", ns as f64 / 1e6))
+        .unwrap_or_else(|| "-".into());
+    let nodes = gauge("scenario.arena_nodes")
+        .map(|n| n.to_string())
+        .unwrap_or_else(|| "-".into());
+    format!(" {wall:>8} {nodes:>11}")
+}
+
 /// Renders the outcomes as the Figure 8 report table.
 pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
+    figure8_with(outcomes, &Figure8Options::default())
+}
+
+/// Renders the Figure 8 table with explicit column options; with the
+/// defaults the output is byte-identical to [`figure8`].
+pub fn figure8_with(outcomes: &[ScenarioOutcome], options: &Figure8Options) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6} {:<8}  detail\n",
+        "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}{} {:<8}  detail\n",
         "scenario",
         "class",
         "discovered",
@@ -479,11 +604,13 @@ pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
         "action",
         "benign",
         "tries",
+        runtime_cells(options, None),
         "status"
     ));
     for outcome in outcomes {
         let class = format!("{:?}", outcome.scenario.error_class);
         let ops = |v: Option<usize>| v.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
+        let runtime = runtime_cells(options, Some(outcome.scenario.name));
         match &outcome.result {
             Ok(transfer) => {
                 let action = match transfer.patch.action {
@@ -497,7 +624,7 @@ pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
                     _ => format!("validated: {}", transfer.patch.render()),
                 };
                 out.push_str(&format!(
-                    "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6} {:<8}  {}\n",
+                    "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}{} {:<8}  {}\n",
                     outcome.scenario.name,
                     class,
                     discovered_cell(outcome),
@@ -507,13 +634,14 @@ pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
                     action,
                     transfer.report.benign.len(),
                     transfer.attempts,
+                    runtime,
                     outcome.status.label(),
                     detail,
                 ));
             }
             Err(failure) => {
                 out.push_str(&format!(
-                    "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6} {:<8}  {}\n",
+                    "{:<26} {:<10} {:>10} {:>7} {:>8} {:<16} {:<8} {:>7} {:>6}{} {:<8}  {}\n",
                     outcome.scenario.name,
                     class,
                     discovered_cell(outcome),
@@ -523,6 +651,7 @@ pub fn figure8(outcomes: &[ScenarioOutcome]) -> String {
                     "-",
                     0,
                     0,
+                    runtime,
                     outcome.status.label(),
                     failure,
                 ));

@@ -330,7 +330,16 @@ pub fn discover(
         }};
     }
 
+    // Frontier order is breadth-first, so generations are non-decreasing;
+    // each flip to a deeper generation is an interesting discontinuity.
+    let mut traced_generation = None;
     while let Some((input, generation, cached)) = frontier.pop_front() {
+        if traced_generation != Some(generation) {
+            traced_generation = Some(generation);
+            cp_obs::event!(DiscoveryGeneration {
+                generation: generation as u64
+            });
+        }
         let observed = match cached {
             Some(observed) => observed,
             None => {

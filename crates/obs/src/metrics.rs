@@ -1,0 +1,376 @@
+//! Process-wide metrics registry: named counters, gauges, and fixed-bucket
+//! histograms over lock-free atomics.
+//!
+//! Metrics are **always on** — unlike spans and events they need no
+//! subscriber, because a relaxed atomic add is cheap enough to pay
+//! unconditionally and the interesting consumers (fig8's wall-time and
+//! arena-nodes columns, BENCH.json counters) want process-lifetime totals,
+//! not per-trace ones.
+//!
+//! Names are dotted paths (`solver.memo.hit`, `vm.steps`,
+//! `arena.peak_nodes`); a label dimension appends in braces
+//! (`budget.exhausted{vm}`, `scenario.wall_ns{png-width}`) via
+//! [`counter_with`] / [`gauge_with`].  Handles are `&'static` — registration
+//! leaks one small allocation per distinct name for the life of the process,
+//! so hot paths cache the handle in a `OnceLock` and pay only the atomic op:
+//!
+//! ```
+//! use std::sync::OnceLock;
+//! static STEPS: OnceLock<&'static cp_obs::metrics::Counter> = OnceLock::new();
+//! STEPS.get_or_init(|| cp_obs::metrics::counter("vm.steps")).add(14);
+//! assert!(cp_obs::metrics::counter("vm.steps").get() >= 14);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// A monotonically increasing count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter (test and bench isolation).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-written-value (or high-water) measurement.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrites the gauge.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is higher (high-water semantics).
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the gauge.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Upper bounds of the fixed histogram buckets, in the recorded unit
+/// (nanoseconds by convention): doubling from 1µs to ~2.1s, plus an
+/// implicit overflow bucket.
+pub const BUCKET_BOUNDS: [u64; 22] = {
+    let mut bounds = [0u64; 22];
+    let mut i = 0;
+    while i < 22 {
+        bounds[i] = 1_000u64 << i;
+        i += 1;
+    }
+    bounds
+};
+
+/// A fixed-bucket histogram (doubling bounds, see [`BUCKET_BOUNDS`]).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; 23],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|bound| v <= *bound)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    let bound = BUCKET_BOUNDS.get(i).copied().unwrap_or(u64::MAX);
+                    (bound, b.load(Ordering::Relaxed))
+                })
+                .collect(),
+        }
+    }
+
+    /// Zeroes every bucket.
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// `(upper_bound, count)` per bucket; the overflow bucket's bound is
+    /// `u64::MAX`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The upper bound of the bucket containing quantile `q` (0.0–1.0), or
+    /// 0 when empty — a coarse but monotone estimator, good enough for
+    /// straggler hunting.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bound, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return *bound;
+            }
+        }
+        u64::MAX
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// A readable copy of one registered metric, keyed by name in
+/// [`snapshot`] / [`find`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A [`Counter`] total.
+    Counter(u64),
+    /// A [`Gauge`] value.
+    Gauge(u64),
+    /// A [`Histogram`] snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+fn registry() -> MutexGuard<'static, HashMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Metric>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Returns (registering on first use) the counter named `name`.
+///
+/// Panics if `name` is already registered as a different metric type — a
+/// programming error, not a runtime condition.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_owned())
+        .or_insert_with(|| Metric::Counter(Box::leak(Box::default())))
+    {
+        Metric::Counter(c) => c,
+        _ => panic!("metric {name:?} is not a counter"),
+    }
+}
+
+/// Returns the counter `name{label}` — one counter per label value.
+pub fn counter_with(name: &str, label: &str) -> &'static Counter {
+    counter(&format!("{name}{{{label}}}"))
+}
+
+/// Returns (registering on first use) the gauge named `name`.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_owned())
+        .or_insert_with(|| Metric::Gauge(Box::leak(Box::default())))
+    {
+        Metric::Gauge(g) => g,
+        _ => panic!("metric {name:?} is not a gauge"),
+    }
+}
+
+/// Returns the gauge `name{label}` — one gauge per label value.
+pub fn gauge_with(name: &str, label: &str) -> &'static Gauge {
+    gauge(&format!("{name}{{{label}}}"))
+}
+
+/// Returns (registering on first use) the histogram named `name`.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_owned())
+        .or_insert_with(|| Metric::Histogram(Box::leak(Box::default())))
+    {
+        Metric::Histogram(h) => h,
+        _ => panic!("metric {name:?} is not a histogram"),
+    }
+}
+
+/// Reads `name` without registering it: `None` if nothing ever touched it.
+pub fn find(name: &str) -> Option<MetricValue> {
+    let reg = registry();
+    reg.get(name).map(|m| match m {
+        Metric::Counter(c) => MetricValue::Counter(c.get()),
+        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+    })
+}
+
+/// Every registered metric with its current value, sorted by name.
+pub fn snapshot() -> Vec<(String, MetricValue)> {
+    let reg = registry();
+    let mut out: Vec<(String, MetricValue)> = reg
+        .iter()
+        .map(|(name, m)| {
+            let value = match m {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+            };
+            (name.clone(), value)
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Zeroes every metric whose name starts with `prefix` (handles stay valid;
+/// pass `""` to zero everything).  Benches and tests use this for isolation.
+pub fn reset_prefix(prefix: &str) {
+    let reg = registry();
+    for (name, metric) in reg.iter() {
+        if !name.starts_with(prefix) {
+            continue;
+        }
+        match metric {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = counter("test.counter.basic");
+        c.reset();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(
+            find("test.counter.basic"),
+            Some(MetricValue::Counter(5)),
+            "find reads without registering"
+        );
+        reset_prefix("test.counter.");
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_type_checked() {
+        let a = counter("test.idem");
+        let b = counter("test.idem");
+        assert!(std::ptr::eq(a, b), "same name, same handle");
+        let caught = std::panic::catch_unwind(|| gauge("test.idem"));
+        assert!(caught.is_err(), "type mismatch must be loud");
+    }
+
+    #[test]
+    fn gauges_track_high_water() {
+        let g = gauge("test.gauge.hw");
+        g.reset();
+        g.set(10);
+        g.set_max(5);
+        assert_eq!(g.get(), 10);
+        g.set_max(25);
+        assert_eq!(g.get(), 25);
+    }
+
+    #[test]
+    fn labels_produce_distinct_series() {
+        counter_with("test.labeled", "vm").add(2);
+        counter_with("test.labeled", "solver").add(3);
+        assert_eq!(
+            find("test.labeled{vm}"),
+            Some(MetricValue::Counter(2)),
+            "label lands in the key"
+        );
+        assert_eq!(find("test.labeled{solver}"), Some(MetricValue::Counter(3)));
+        assert_eq!(find("test.labeled{absent}"), None);
+    }
+
+    #[test]
+    fn histograms_bucket_and_estimate_quantiles() {
+        let h = histogram("test.hist");
+        h.reset();
+        for _ in 0..99 {
+            h.record(500); // first bucket (≤ 1µs)
+        }
+        h.record(3_000_000_000); // overflow (> ~2.1s)
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum, 99 * 500 + 3_000_000_000);
+        assert_eq!(snap.quantile(0.5), 1_000);
+        assert_eq!(snap.quantile(1.0), u64::MAX);
+        assert_eq!(Histogram::default().snapshot().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        counter("test.sorted.b").inc();
+        counter("test.sorted.a").inc();
+        let all = snapshot();
+        let names: Vec<&str> = all
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .filter(|n| n.starts_with("test.sorted."))
+            .collect();
+        assert_eq!(names, vec!["test.sorted.a", "test.sorted.b"]);
+    }
+}

@@ -212,13 +212,16 @@ pub fn transfer(
         .translator
         .translate_all(donor_condition, &table.candidates)?;
 
-    let plans = plan(
-        &translation,
-        &table,
-        observation,
-        &fn_names,
-        spec.max_attempts,
-    );
+    let plans = {
+        let _span = cp_obs::span!("plan");
+        plan(
+            &translation,
+            &table,
+            observation,
+            &fn_names,
+            spec.max_attempts,
+        )
+    };
     if plans.is_empty() {
         return Err(TransferError::NoViableSite {
             stats: translation.stats,
@@ -288,14 +291,17 @@ pub fn transfer(
             guard,
             action: spec.action,
         };
-        let report = validate(
-            recipient,
-            &baseline,
-            &patch,
-            spec.error_input,
-            spec.benign_corpus,
-            &spec.config,
-        );
+        let report = {
+            let _span = cp_obs::span!("validate");
+            validate(
+                recipient,
+                &baseline,
+                &patch,
+                spec.error_input,
+                spec.benign_corpus,
+                &spec.config,
+            )
+        };
         if report.verdict.is_validated() {
             return Ok(TransferOutcome {
                 patch,

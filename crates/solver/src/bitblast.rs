@@ -30,7 +30,6 @@
 
 use cp_symexpr::{BinOp, CastKind, ExprRef, SymExpr, UnOp};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// An AIG literal: `var << 1 | negated`.  Literal 0 is constant false,
@@ -561,19 +560,31 @@ impl MemoStats {
 /// simplest O(1) eviction — a corpus sweep's working set is far smaller).
 const VERDICT_MEMO_CAP: usize = 1 << 16;
 
-static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
-static MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
 static VERDICT_MEMO: OnceLock<Mutex<HashMap<(u64, u64), CachedVerdict>>> = OnceLock::new();
 
 fn verdict_memo() -> &'static Mutex<HashMap<(u64, u64), CachedVerdict>> {
     VERDICT_MEMO.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// The memo counters live in the `cp-obs` registry (`solver.memo.hit` /
+/// `solver.memo.miss`), so trace exports and BENCH.json read the same
+/// numbers [`memo_stats`] reports; the handles are cached so the hot probe
+/// path pays one relaxed atomic add, exactly as the old private statics did.
+fn memo_hit_counter() -> &'static cp_obs::metrics::Counter {
+    static HITS: OnceLock<&'static cp_obs::metrics::Counter> = OnceLock::new();
+    HITS.get_or_init(|| cp_obs::metrics::counter("solver.memo.hit"))
+}
+
+fn memo_miss_counter() -> &'static cp_obs::metrics::Counter {
+    static MISSES: OnceLock<&'static cp_obs::metrics::Counter> = OnceLock::new();
+    MISSES.get_or_init(|| cp_obs::metrics::counter("solver.memo.miss"))
+}
+
 /// Process-wide memo counters (shared by every thread's queries).
 pub fn memo_stats() -> MemoStats {
     MemoStats {
-        hits: MEMO_HITS.load(Ordering::Relaxed),
-        misses: MEMO_MISSES.load(Ordering::Relaxed),
+        hits: memo_hit_counter().get(),
+        misses: memo_miss_counter().get(),
     }
 }
 
@@ -582,8 +593,8 @@ pub fn memo_stats() -> MemoStats {
 pub fn reset_memo() {
     let mut memo = verdict_memo().lock().unwrap_or_else(|p| p.into_inner());
     memo.clear();
-    MEMO_HITS.store(0, Ordering::Relaxed);
-    MEMO_MISSES.store(0, Ordering::Relaxed);
+    memo_hit_counter().reset();
+    memo_miss_counter().reset();
 }
 
 /// Positional structural hasher for query expression DAGs — the verdict-memo
@@ -813,7 +824,7 @@ impl QueryKey {
         let memo = verdict_memo().lock().unwrap_or_else(|p| p.into_inner());
         match memo.get(&self.key) {
             Some(hit) => {
-                MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+                memo_hit_counter().inc();
                 Some(match hit {
                     CachedVerdict::Unsat => BlastOutcome::Unsat,
                     CachedVerdict::Sat(bytes) => BlastOutcome::Sat(
@@ -826,7 +837,7 @@ impl QueryKey {
                 })
             }
             None => {
-                MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
+                memo_miss_counter().inc();
                 None
             }
         }

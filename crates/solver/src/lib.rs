@@ -431,6 +431,10 @@ impl Solver {
             _ => {}
         }
 
+        cp_obs::event!(SolverEscalation {
+            query: "equiv".to_string(),
+            stage: "sampling".to_string()
+        });
         if let Equivalence::Refuted { witness } = self.sampler.equivalent(&sa, &sb) {
             // A sampling witness is a model of the miter: record it so the
             // next identical query skips sampling too.
@@ -442,6 +446,10 @@ impl Solver {
             return Equivalence::Proved;
         }
 
+        cp_obs::event!(SolverEscalation {
+            query: "equiv".to_string(),
+            stage: "bit-blast".to_string()
+        });
         match solve_equiv(&sa, &sb, &self.limits, &query) {
             BlastOutcome::Unsat => Equivalence::Proved,
             BlastOutcome::Sat(witness) => {
@@ -451,7 +459,13 @@ impl Solver {
                     Equivalence::Unknown
                 }
             }
-            BlastOutcome::Abandoned(_) => self.exhaustive(&sa, &sb),
+            BlastOutcome::Abandoned(_) => {
+                cp_obs::event!(SolverEscalation {
+                    query: "equiv".to_string(),
+                    stage: "exhaustive".to_string()
+                });
+                self.exhaustive(&sa, &sb)
+            }
         }
     }
 
@@ -498,6 +512,10 @@ impl Solver {
             _ => {}
         }
 
+        cp_obs::event!(SolverEscalation {
+            query: "sat".to_string(),
+            stage: "sampling".to_string()
+        });
         if let Some(model) = self.sampler.find_model(&sc) {
             // Defensive: the model must satisfy the *original* condition.
             if eval_model(cond, &model) != 0 {
@@ -507,6 +525,10 @@ impl Solver {
                 return Satisfiability::Sat { model };
             }
         }
+        cp_obs::event!(SolverEscalation {
+            query: "sat".to_string(),
+            stage: "bit-blast".to_string()
+        });
         match solve_nonzero(&sc, &self.limits, &query) {
             BlastOutcome::Unsat => Satisfiability::Unsat,
             BlastOutcome::Sat(model) => {
@@ -518,7 +540,13 @@ impl Solver {
                     Satisfiability::Unknown
                 }
             }
-            BlastOutcome::Abandoned(_) => self.exhaustive_model(cond, &sc),
+            BlastOutcome::Abandoned(_) => {
+                cp_obs::event!(SolverEscalation {
+                    query: "sat".to_string(),
+                    stage: "exhaustive".to_string()
+                });
+                self.exhaustive_model(cond, &sc)
+            }
         }
     }
 

@@ -81,6 +81,37 @@ pub struct TranslateStats {
     pub unknown: usize,
 }
 
+impl TranslateStats {
+    /// Mirrors the counters onto the process-wide `cp-obs` registry under
+    /// `solver.translate.*`, so sweeps accumulate translation effort across
+    /// scenarios without any per-call-site plumbing.  Called once per
+    /// translation (success or failure), so registry lookups stay off the
+    /// per-pair hot path.
+    fn publish(&self) {
+        use cp_obs::metrics::counter;
+        use std::sync::OnceLock;
+        static HANDLES: OnceLock<[&'static cp_obs::metrics::Counter; 7]> = OnceLock::new();
+        let [fields, pairs, pruned, calls, proved, refuted, unknown] = HANDLES.get_or_init(|| {
+            [
+                counter("solver.translate.fields"),
+                counter("solver.translate.pairs"),
+                counter("solver.translate.pruned_disjoint"),
+                counter("solver.translate.solver_calls"),
+                counter("solver.translate.proved"),
+                counter("solver.translate.refuted"),
+                counter("solver.translate.unknown"),
+            ]
+        });
+        fields.add(self.fields as u64);
+        pairs.add(self.pairs as u64);
+        pruned.add(self.pruned_disjoint as u64);
+        calls.add(self.solver_calls as u64);
+        proved.add(self.proved as u64);
+        refuted.add(self.refuted as u64);
+        unknown.add(self.unknown as u64);
+    }
+}
+
 /// A donor check re-expressed in the recipient's namespace.
 #[derive(Debug, Clone)]
 pub struct Translation {
@@ -225,6 +256,7 @@ impl Translator {
         condition: &ExprRef,
         candidates: &[Candidate],
     ) -> Result<Translation, TranslateError> {
+        let _span = cp_obs::span!("translate");
         let (fields, raw_bytes) = collect_leaves(condition);
         if !raw_bytes.is_empty() {
             return Err(TranslateError::UnfoldedBytes { offsets: raw_bytes });
@@ -261,6 +293,7 @@ impl Translator {
                 }
             }
             let Some(binding) = bound else {
+                stats.publish();
                 return Err(TranslateError::Unmatched { path, stats });
             };
             map.insert(field.memo_key(), binding.replacement);
@@ -268,6 +301,7 @@ impl Translator {
         }
 
         let condition = simplify(&substitute(condition, &map));
+        stats.publish();
         Ok(Translation {
             condition,
             bindings,
@@ -294,6 +328,7 @@ impl Translator {
         condition: &ExprRef,
         candidates: &[Candidate],
     ) -> Result<MultiTranslation, TranslateError> {
+        let _span = cp_obs::span!("translate");
         let (fields, raw_bytes) = collect_leaves(condition);
         if !raw_bytes.is_empty() {
             return Err(TranslateError::UnfoldedBytes { offsets: raw_bytes });
@@ -325,6 +360,7 @@ impl Translator {
                 }
             }
             if proved.is_empty() {
+                stats.publish();
                 return Err(TranslateError::Unmatched { path, stats });
             }
             out.push(FieldAlternatives {
@@ -334,6 +370,7 @@ impl Translator {
                 proved,
             });
         }
+        stats.publish();
         Ok(MultiTranslation {
             condition: *condition,
             fields: out,

@@ -194,6 +194,14 @@ impl BlockProfile {
         stmt_ends: &[StmtEndEvent],
         functions: &[Option<FunctionDebug>],
     ) -> BlockProfile {
+        let _span = cp_obs::span!("profile");
+        {
+            use std::sync::OnceLock;
+            static STMT_ENDS: OnceLock<&'static cp_obs::metrics::Counter> = OnceLock::new();
+            STMT_ENDS
+                .get_or_init(|| cp_obs::metrics::counter("taint.stmt_ends"))
+                .add(stmt_ends.len() as u64);
+        }
         let mut profile = BlockProfile::default();
         for (index, debug) in functions.iter().enumerate() {
             let Some(debug) = debug else { continue };
