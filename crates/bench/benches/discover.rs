@@ -14,6 +14,7 @@ fn main() {
     section("discover");
     let mut results = Vec::new();
     let mut counters: Vec<(String, f64)> = Vec::new();
+    let mut total_queries = 0u64;
     for scenario in scenarios()
         .iter()
         .filter(|s| s.error_class == ErrorClass::OverflowIntoAllocation)
@@ -41,6 +42,7 @@ fn main() {
             format!("solver-queries/{}", scenario.name),
             found.solver_queries as f64,
         ));
+        total_queries += found.solver_queries as u64;
 
         let m = bench(&format!("discover/{}", scenario.name), 2, 30, || {
             session
@@ -53,6 +55,9 @@ fn main() {
         println!("{}", m.report());
         results.push(m);
     }
+    // Aggregate for the bench-compare gate: the incremental session must
+    // never cost *more* satisfiability queries than the one-shot path did.
+    counters.push(("discover_solver_queries".to_string(), total_queries as f64));
     let counter_refs: Vec<(&str, f64)> = counters.iter().map(|(n, v)| (n.as_str(), *v)).collect();
     emit_with("discover", &results, &counter_refs);
 }

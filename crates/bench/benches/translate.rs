@@ -2,10 +2,11 @@
 //! (pairs the disjoint-support bitsets reject before any solver call) and
 //! the latency of the solver stages behind it.
 
-use cp_bench::harness::{bench, emit_with, section};
+use cp_bench::harness::{bench, emit_with, quick_mode, section};
 use cp_core::Session;
-use cp_solver::{Equivalence, SampleSolver, Solver};
-use cp_symexpr::{BinOp, ExprBuild, SymExpr, Width};
+use cp_solver::incremental::EquivSession;
+use cp_solver::{reset_solver_memo, Equivalence, SampleSolver, Solver};
+use cp_symexpr::{BinOp, ExprBuild, ExprRef, SymExpr, Width};
 
 fn main() {
     section("translation (donor checks into recipient namespaces)");
@@ -113,6 +114,86 @@ fn main() {
     println!("{}", sampled.report());
 
     measurements.extend([structural, sat_proof, refuted, sampled]);
+
+    // The translate shape at solver granularity: one big recipient cone, a
+    // queue of candidate spellings that are all provably equal to it.  The
+    // from-scratch path re-blasts the shared cone for every candidate; the
+    // incremental session blasts it once (structural hashing makes repeat
+    // cones free) and decides each miter against the same context.  The
+    // verdict memo is reset inside both closures so every iteration measures
+    // solving, not memo hits (this is a standalone bench process — nothing
+    // else observes the memo).
+    section("incremental session (multi-candidate miter queue)");
+    let byte64 = |i: usize| SymExpr::input_byte(i).zext(Width::W64);
+    let mut mix = SymExpr::constant(Width::W64, 0x9E37_79B9_7F4A_7C15);
+    for i in 0..6 {
+        let scattered = mix.binop(BinOp::Shl, SymExpr::constant(Width::W64, 13));
+        let folded = mix.binop(BinOp::ShrU, SymExpr::constant(Width::W64, 7));
+        mix = mix
+            .binop(BinOp::Add, scattered)
+            .binop(BinOp::Xor, folded.binop(BinOp::Add, byte64(i)));
+    }
+    let a = byte64(1);
+    let b = byte64(4);
+    let recipient = mix.binop(BinOp::Add, a).binop(BinOp::Add, b);
+    // Commuted and re-associated spellings of `mix + a + b`: distinct
+    // expression trees (so no stage short-circuits on handle equality), all
+    // sharing the mixing cone.
+    let candidates: Vec<ExprRef> = vec![
+        a.binop(BinOp::Add, mix).binop(BinOp::Add, b),
+        b.binop(BinOp::Add, mix.binop(BinOp::Add, a)),
+        mix.binop(BinOp::Add, a.binop(BinOp::Add, b)),
+        a.binop(BinOp::Add, b).binop(BinOp::Add, mix),
+        mix.binop(BinOp::Add, b).binop(BinOp::Add, a),
+        a.binop(BinOp::Add, mix.binop(BinOp::Add, b)),
+        b.binop(BinOp::Add, a).binop(BinOp::Add, mix),
+        b.binop(BinOp::Add, a.binop(BinOp::Add, mix)),
+    ];
+
+    let scratch = bench("translate/multi-candidate-scratch", 2, 15, || {
+        reset_solver_memo();
+        let solver = Solver::default();
+        candidates
+            .iter()
+            .filter(|c| solver.equivalent(&recipient, c).is_proved())
+            .count()
+    });
+    println!("{}", scratch.report());
+
+    let queries_before = cp_obs::metrics::counter("solver.incremental.queries").get();
+    let reuse_before = cp_obs::metrics::counter("solver.incremental.reuse").get();
+    let incremental = bench("translate/multi-candidate-incremental", 2, 15, || {
+        reset_solver_memo();
+        let mut session = EquivSession::new(Solver::default());
+        candidates
+            .iter()
+            .filter(|c| session.equivalent(&recipient, c).is_proved())
+            .count()
+    });
+    println!("{}", incremental.report());
+    let inc_queries = cp_obs::metrics::counter("solver.incremental.queries").get() - queries_before;
+    let inc_reuse = cp_obs::metrics::counter("solver.incremental.reuse").get() - reuse_before;
+    let reuse_rate = if inc_queries == 0 {
+        0.0
+    } else {
+        inc_reuse as f64 / inc_queries as f64
+    };
+    println!(
+        "incremental reuse: {inc_reuse}/{inc_queries} queries ran against pre-built state ({reuse_rate:.3})"
+    );
+    if !quick_mode() {
+        // The acceptance bar for the incremental solver core: reusing the
+        // recipient cone must beat re-blasting it per candidate by >= 20%.
+        assert!(
+            incremental.median_ns <= scratch.median_ns * 0.8,
+            "incremental session slower than required: {:.0} ns vs scratch {:.0} ns",
+            incremental.median_ns,
+            scratch.median_ns,
+        );
+    }
+    measurements.push(scratch.clone());
+    measurements.push(incremental.clone());
+
     let rate = if pairs == 0 {
         0.0
     } else {
@@ -127,6 +208,9 @@ fn main() {
             ("solver_calls", solver_calls as f64),
             ("proved", proved as f64),
             ("pruning_rate", rate),
+            ("translate_solver_p50", incremental.median_ns),
+            ("translate_scratch_p50", scratch.median_ns),
+            ("incremental_reuse_rate", reuse_rate),
         ],
     );
 }

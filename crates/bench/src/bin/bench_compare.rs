@@ -60,7 +60,25 @@ const COUNTER_GATED: &[(&str, &str, f64)] = &[
     // not the sweep's sum; growth across the baseline means either a
     // scenario got heavier or epochs stopped reclaiming.
     ("sweep", "peak_arena_nodes", 1.5),
+    // Incremental-solver wall time on the multi-candidate miter queue (the
+    // median of `translate/multi-candidate-incremental`, re-emitted as a
+    // counter so it gates even if the case list is reshaped).  A 3x blowup
+    // means session reuse stopped paying for itself.
+    ("translate", "translate_solver_p50", 3.0),
+    // Total satisfiability queries issued across the discovery scenarios.
+    // The count is deterministic for a fixed corpus, so growth means the
+    // incremental session stopped deduplicating roots or the frontier
+    // started re-asking answered queries.
+    ("discover", "discover_solver_queries", 1.5),
 ];
+
+/// Gated counters with a *floor*: `(bench section, counter, min ratio)`.
+///
+/// These fail when `fresh < min_ratio * baseline` — a shrinking value is the
+/// regression.  The incremental reuse rate (queries answered against
+/// pre-built solver state / total queries) dropping below 90% of its
+/// baseline means cones are being re-blasted per query again.
+const COUNTER_GATED_MIN: &[(&str, &str, f64)] = &[("translate", "incremental_reuse_rate", 0.9)];
 
 fn median_cases(doc: &Value, section: &str, prefix: &str) -> Vec<(String, f64)> {
     let Some(Value::Object(entries)) = doc.get(section) else {
@@ -161,6 +179,32 @@ fn main() {
         );
         if ratio > max_ratio {
             regressions.push(format!("{section}/{counter} ({ratio:.2}x)"));
+        }
+    }
+
+    for &(section, counter, min_ratio) in COUNTER_GATED_MIN {
+        let base = baseline
+            .get(section)
+            .and_then(|s| s.get(counter))
+            .and_then(Value::as_number);
+        let fresh_value = fresh
+            .get(section)
+            .and_then(|s| s.get(counter))
+            .and_then(Value::as_number);
+        let (Some(base), Some(fresh_value)) = (base, fresh_value) else {
+            println!("counter missing in baseline or fresh run (not gated): {section}/{counter}");
+            continue;
+        };
+        compared += 1;
+        let ratio = if base > 0.0 { fresh_value / base } else { 1.0 };
+        let verdict = if ratio < min_ratio { "REGRESSED" } else { "ok" };
+        println!(
+            "{section:<12} {counter:<40} baseline {base:>16.3}      fresh {fresh_value:>16.3}      {ratio:>6.2}x  {verdict} (floor {min_ratio:.2}x)"
+        );
+        if ratio < min_ratio {
+            regressions.push(format!(
+                "{section}/{counter} ({ratio:.2}x < {min_ratio:.2}x)"
+            ));
         }
     }
 

@@ -96,7 +96,11 @@ pub struct Budgets {
     /// [`RunConfig::max_steps`](cp_vm::RunConfig)).
     pub vm_steps: u64,
     /// Solver resource bundle: sampling, miter gates, CDCL conflicts and the
-    /// exhaustive-enumeration fallback.
+    /// exhaustive-enumeration fallback.  Gate and conflict ceilings are
+    /// **per query** even on an incremental session that reuses state across
+    /// a queue of related queries (`cp_solver::incremental`): each query is
+    /// charged only the gates it adds and the conflicts its own search
+    /// spends, never an earlier query's spending.
     pub solver: SolverBudgets,
     /// Total program executions one discovery search may spend.
     pub discovery_executions: usize,

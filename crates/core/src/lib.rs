@@ -336,8 +336,11 @@ impl Trace {
     /// tainted leaves become named fields, then every field is matched
     /// against this trace's [`candidates`](Trace::candidates) — pruned by
     /// disjoint support, decided by the bitvector solver — and substituted
-    /// on a `Proved` verdict.  See [`cp_solver::translate`] for the
-    /// machinery and the returned [`Translation`]'s solver-effort counters.
+    /// on a `Proved` verdict.  All of one translation's miters run on a
+    /// single incremental solver session (the shared recipient cones
+    /// bit-blast once; see `cp_solver::incremental`).  See
+    /// [`cp_solver::translate`] for the machinery and the returned
+    /// [`Translation`]'s solver-effort counters.
     ///
     /// # Errors
     ///
@@ -608,8 +611,9 @@ impl Session {
     /// pipeline; the trace's input-tainted allocation sites are ranked
     /// most-arithmetic-first, each site's symbolic overflow goal is
     /// conjoined with the path constraints to the site and handed to the
-    /// `cp-solver` satisfiability engine, and every extracted model is
-    /// validated by re-execution — [`DiscoverOutcome::Found`] only ever
+    /// `cp-solver` satisfiability engine — one incremental session per
+    /// frontier run, so related queries share bit-blasted cones and learned
+    /// clauses — and every extracted model is validated by re-execution — [`DiscoverOutcome::Found`] only ever
     /// carries an input whose run actually ended in
     /// `VmError::OverflowIntoAllocation`.  When a straight-line goal is
     /// unsatisfiable the search flips one path constraint at a time (a

@@ -16,9 +16,13 @@
 //!    expression wraps at its width — conjoined with the
 //!    [`PathConstraint`]s of the branches executed before the site, so a
 //!    model follows the same path to the allocation.
-//! 3. **Solving** — the conjunction goes to [`Solver::solve`]
+//! 3. **Solving** — the conjunction goes to a [`SatSession`]
 //!    (`cp-solver`'s AIG → Tseitin → CDCL stack with input-byte model
-//!    extraction); the model is concretized over the current input.
+//!    extraction); the model is concretized over the current input.  All of
+//!    one run's queries share a single incremental context: the site goals
+//!    reuse each other's strashed path cones and learned clauses, and the
+//!    flip loop asserts its monotone prefix as permanent clauses so each
+//!    flipped constraint rides in as a single assumption.
 //! 4. **Generational search** ([`discover`]) — when the straight-line goal
 //!    is unsatisfiable (or a candidate diverges), the search flips one
 //!    unsatisfied path constraint at a time, re-executes, and processes the
@@ -30,6 +34,7 @@
 //! `VmError::OverflowIntoAllocation`).  `cp_core::Session::discover` wires a
 //! recording session into [`discover`].
 
+use cp_solver::incremental::SatSession;
 use cp_solver::{Satisfiability, Solver, SolverBudgets};
 use cp_symexpr::{count_ops, input_support, overflow_goal, BinOp, ExprBuild, ExprRef, SymExpr};
 use cp_taint::{AllocRecord, BranchRecord};
@@ -360,6 +365,11 @@ pub fn discover(
         }
 
         let constraints = PathConstraint::from_branches(&observed.branches);
+        // One incremental context per run: every query below shares one
+        // AIG/CNF/CDCL, so path cones blast once and learning carries over.
+        // Sessions do not outlive the run — the next run records fresh
+        // expressions, and sessions are scoped to one arena epoch.
+        let mut session = SatSession::new(solver);
 
         // Straight-line goals: overflow at a ranked site along this path.
         for site in target_sites(&observed.allocs)
@@ -374,10 +384,13 @@ pub fn discover(
             let path = PathConstraint::from_branches(
                 &observed.branches[..site.alloc.branches_before.min(observed.branches.len())],
             );
-            let cond =
-                conjoin(path.iter().map(|c| c.holds()).chain([goal])).expect("at least the goal");
+            // Site paths are prefixes of one branch list but sites rank by
+            // arithmetic, not path length — so the path conjuncts ride in as
+            // assumptions rather than permanent clauses.
+            let conjuncts: Vec<ExprRef> = path.iter().map(|c| c.holds()).chain([goal]).collect();
+            let cond = conjoin(conjuncts.iter().cloned()).expect("at least the goal");
             report.solver_queries += 1;
-            let Satisfiability::Sat { model } = solver.solve(&cond) else {
+            let Satisfiability::Sat { model } = session.solve(&cond, &conjuncts) else {
                 continue;
             };
             let candidate = concretize(&input, &model);
@@ -414,10 +427,17 @@ pub fn discover(
             .enumerate()
             .take(config.max_flips_per_run)
         {
+            // Flip i shares the prefix `c_0 ∧ … ∧ c_{i-1}` with every later
+            // flip: assert the newly-stable constraint permanently so only
+            // the flipped direction rides in as an assumption.
+            if i > 0 {
+                session.assert_holds(&constraints[i - 1].holds());
+            }
+            let negated = constraint.negated();
             let prefix = constraints[..i].iter().map(|c| c.holds());
-            let cond = conjoin(prefix.chain([constraint.negated()])).expect("flip condition");
+            let cond = conjoin(prefix.chain([negated])).expect("flip condition");
             report.solver_queries += 1;
-            let Satisfiability::Sat { model } = solver.solve(&cond) else {
+            let Satisfiability::Sat { model } = session.solve(&cond, &[negated]) else {
                 continue;
             };
             let candidate = concretize(&input, &model);

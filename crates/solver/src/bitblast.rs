@@ -23,10 +23,18 @@
 //!   pathological miters (e.g. wide multiplier equivalences) abandon to
 //!   `Unknown` instead of hanging.
 //!
-//! Division and remainder with symbolic operands are not blasted (restoring
-//! dividers would dominate the gate count for no workload benefit); the
-//! solver escalation in the crate root falls back to exhaustive enumeration
-//! over the input support for those.
+//! Division and remainder (all four signedness variants) are blasted with a
+//! restoring-divider circuit — one trial subtraction per result bit —
+//! mirroring `cp_symexpr::eval`'s semantics exactly (division by zero yields
+//! all-ones, remainder by zero the dividend, `INT_MIN / -1` wraps).  Wide
+//! divider miters can exceed the gate budget, in which case the solver
+//! escalation in the crate root still falls back to exhaustive enumeration.
+//!
+//! The [`Cdcl`] core also supports *incremental* use: clauses can be added
+//! between `solve_under_assumptions` calls, which keep the learned-clause
+//! database and VSIDS activities alive across queries and return an unsat
+//! core over the assumption literals on failure.  The [`crate::incremental`]
+//! module builds the session API on top.
 
 use cp_symexpr::{BinOp, CastKind, ExprRef, SymExpr, UnOp};
 use std::collections::HashMap;
@@ -54,9 +62,6 @@ fn var_of(lit: Lit) -> u32 {
 /// Why a blasting attempt was abandoned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlastError {
-    /// The expression uses an operator the blaster does not encode
-    /// (symbolic division/remainder).
-    Unsupported(&'static str),
     /// The circuit exceeded the gate budget.
     GateBudget,
 }
@@ -91,26 +96,51 @@ pub enum BlastOutcome {
 }
 
 /// An and-inverter graph with structural hashing and constant folding.
+///
+/// Inputs and gates share one variable space: variable 0 is the reserved
+/// constant, and every later variable is either an *input* (one bit of an
+/// environment byte) or an AND gate over two earlier literals.  The two can
+/// interleave — an incremental session grows both on demand across queries —
+/// so the graph is node-indexed rather than split at a fixed input boundary.
 struct Aig {
-    /// Gate `g` (variable `first_gate + g`) is the AND of its two literals.
-    gates: Vec<(Lit, Lit)>,
-    first_gate: u32,
+    /// Variable `v` (`v >= 1`) is `nodes[v - 1]`: `None` for an input
+    /// variable, `Some((a, b))` for the AND of two earlier literals.
+    nodes: Vec<Option<(Lit, Lit)>>,
+    /// Count of gate (`Some`) nodes.
+    gates: usize,
+    /// Gate count snapshotted when the current query began: the budget below
+    /// bounds `gates - gate_floor`, so a reused graph charges each query only
+    /// for the gates *it* adds, never for state carried over (see
+    /// `begin_query`).
+    gate_floor: usize,
     strash: HashMap<(Lit, Lit), Lit>,
     max_gates: usize,
 }
 
 impl Aig {
-    fn new(n_inputs: u32, max_gates: usize) -> Self {
+    fn new(max_gates: usize) -> Self {
         Aig {
-            gates: Vec::new(),
-            first_gate: n_inputs + 1,
+            nodes: Vec::new(),
+            gates: 0,
+            gate_floor: 0,
             strash: HashMap::new(),
             max_gates,
         }
     }
 
     fn n_vars(&self) -> usize {
-        self.first_gate as usize + self.gates.len()
+        self.nodes.len() + 1
+    }
+
+    fn new_input(&mut self) -> u32 {
+        self.nodes.push(None);
+        self.nodes.len() as u32
+    }
+
+    /// Starts a fresh query: gates built from here on count against
+    /// `max_gates`, while everything already in the graph is free to reuse.
+    fn begin_query(&mut self) {
+        self.gate_floor = self.gates;
     }
 
     fn and(&mut self, a: Lit, b: Lit) -> Result<Lit, BlastError> {
@@ -127,11 +157,12 @@ impl Aig {
         if let Some(&lit) = self.strash.get(&key) {
             return Ok(lit);
         }
-        if self.gates.len() >= self.max_gates {
+        if self.gates - self.gate_floor >= self.max_gates {
             return Err(BlastError::GateBudget);
         }
-        let lit = (self.first_gate + self.gates.len() as u32) << 1;
-        self.gates.push(key);
+        self.nodes.push(Some(key));
+        self.gates += 1;
+        let lit = (self.nodes.len() as u32) << 1;
         self.strash.insert(key, lit);
         Ok(lit)
     }
@@ -160,11 +191,13 @@ impl Aig {
         let mut marked = vec![false; self.n_vars()];
         let mut stack = vec![var_of(root)];
         while let Some(var) = stack.pop() {
-            if var < self.first_gate || marked[var as usize] {
+            if var == 0 || marked[var as usize] {
                 continue;
             }
             marked[var as usize] = true;
-            let (a, b) = self.gates[(var - self.first_gate) as usize];
+            let Some((a, b)) = self.nodes[(var - 1) as usize] else {
+                continue; // input variable: no defining clauses
+            };
             let g = var << 1;
             // g ↔ a ∧ b.
             clauses.push(vec![negate(g), a]);
@@ -204,7 +237,13 @@ fn invert(bits: &[Lit]) -> Vec<Lit> {
 }
 
 /// Bit-blasts expressions into a shared AIG.
-struct Blaster {
+///
+/// A one-shot query builds one `Blaster`, blasts, decides and drops it; an
+/// incremental session ([`crate::incremental`]) keeps one alive across many
+/// queries so structurally shared cones keep their gates (and the CDCL built
+/// on top keeps its learned clauses).  `begin_query` resets the per-query
+/// gate budget without discarding anything already built.
+pub(crate) struct Blaster {
     aig: Aig,
     /// Input byte offset → first of its eight consecutive input variables.
     offset_var: HashMap<usize, u32>,
@@ -213,23 +252,115 @@ struct Blaster {
 }
 
 impl Blaster {
-    /// Allocates eight input variables per distinct support offset; gates
-    /// come after all inputs so model decoding can index inputs directly.
-    fn new(offsets: &[usize], max_gates: usize) -> Self {
-        let mut offset_var = HashMap::new();
-        for (i, &off) in offsets.iter().enumerate() {
-            offset_var.insert(off, 1 + 8 * i as u32);
-        }
-        Blaster {
-            aig: Aig::new(8 * offsets.len() as u32, max_gates),
-            offset_var,
+    /// Allocates eight input variables per distinct support offset up front
+    /// (further offsets are added on demand as expressions mention them).
+    pub(crate) fn new(offsets: &[usize], max_gates: usize) -> Self {
+        let mut blaster = Blaster {
+            aig: Aig::new(max_gates),
+            offset_var: HashMap::new(),
             memo: HashMap::new(),
+        };
+        for &off in offsets {
+            blaster.input_base(off);
         }
+        blaster
     }
 
-    fn input_bits(&self, offset: usize) -> Vec<Lit> {
-        let base = self.offset_var[&offset];
+    /// Starts a fresh query against the shared graph: everything already
+    /// built stays reusable for free, and only gates added from here on
+    /// count against the gate budget.
+    pub(crate) fn begin_query(&mut self) {
+        self.aig.begin_query();
+    }
+
+    /// First of the eight input variables for `offset`, allocating them on
+    /// first use.
+    fn input_base(&mut self, offset: usize) -> u32 {
+        if let Some(&base) = self.offset_var.get(&offset) {
+            return base;
+        }
+        let base = self.aig.new_input();
+        for _ in 1..8 {
+            self.aig.new_input();
+        }
+        self.offset_var.insert(offset, base);
+        base
+    }
+
+    fn input_bits(&mut self, offset: usize) -> Vec<Lit> {
+        let base = self.input_base(offset);
         (0..8).map(|i| (base + i) << 1).collect()
+    }
+
+    /// Root literal of the equivalence miter `a ≠ b` (both values
+    /// zero-extended to a common width, exactly as the sampling comparison
+    /// treats `eval` results).
+    pub(crate) fn equiv_root(&mut self, a: &ExprRef, b: &ExprRef) -> Result<Lit, BlastError> {
+        let va = self.blast(a)?;
+        let vb = self.blast(b)?;
+        let n = va.len().max(vb.len());
+        let va = resize_zero(&va, n);
+        let vb = resize_zero(&vb, n);
+        let mut diff = LIT_FALSE;
+        for (&x, &y) in va.iter().zip(&vb) {
+            let bit = self.aig.xor(x, y)?;
+            diff = self.aig.or(diff, bit)?;
+        }
+        Ok(diff)
+    }
+
+    /// Root literal asserting `expr ≠ 0`.
+    pub(crate) fn nonzero_root(&mut self, expr: &ExprRef) -> Result<Lit, BlastError> {
+        let bits = self.blast(expr)?;
+        self.or_reduce(&bits)
+    }
+
+    /// Appends the Tseitin clauses of every gate not yet encoded into `sat`,
+    /// growing its variable space first; `encoded` is the caller's cursor
+    /// (first variable not yet encoded), advanced to the new frontier.
+    ///
+    /// Unlike the one-shot `cnf_cone` this encodes the *whole* graph — the
+    /// clauses are definitional truths about the circuit, so clauses for
+    /// gates outside any particular query's cone are sound, and an
+    /// incremental session keeps one growing CNF instead of re-walking cones.
+    pub(crate) fn encode_new_gates(&self, sat: &mut Cdcl, encoded: &mut u32) {
+        let n_vars = self.aig.n_vars() as u32;
+        sat.ensure_vars(n_vars as usize);
+        let start = (*encoded).max(1);
+        for var in start..n_vars {
+            let Some((a, b)) = self.aig.nodes[(var - 1) as usize] else {
+                continue;
+            };
+            let g = var << 1;
+            sat.add_clause(vec![negate(g), a]);
+            sat.add_clause(vec![negate(g), b]);
+            sat.add_clause(vec![g, negate(a), negate(b)]);
+        }
+        *encoded = n_vars;
+    }
+
+    /// Projects a CDCL model onto `offsets`.  Offsets the graph never
+    /// mentioned (or whose variables the search left unassigned) decode as
+    /// zero — a valid completion of any partial model.
+    pub(crate) fn decode_model(&self, sat: &Cdcl, offsets: &[usize]) -> Vec<(usize, u8)> {
+        offsets
+            .iter()
+            .map(|&off| {
+                let byte = match self.offset_var.get(&off) {
+                    Some(&base) => {
+                        let mut byte = 0u8;
+                        for i in 0..8u32 {
+                            if sat.value(base + i) {
+                                byte |= 1 << i;
+                            }
+                        }
+                        byte
+                    }
+                    None => 0,
+                };
+                (off, byte)
+            })
+            .collect()
     }
 
     /// `a + b + cin`, returning the sum and the carry out.
@@ -269,6 +400,88 @@ impl Blaster {
             acc = self.aig.or(acc, b)?;
         }
         Ok(acc)
+    }
+
+    /// Per-bit `if s { t } else { e }` over two equal-width vectors.
+    fn mux_vec(&mut self, s: Lit, t: &[Lit], e: &[Lit]) -> Result<Vec<Lit>, BlastError> {
+        debug_assert_eq!(t.len(), e.len());
+        t.iter()
+            .zip(e)
+            .map(|(&x, &y)| self.aig.mux(s, x, y))
+            .collect()
+    }
+
+    /// Two's-complement negation.
+    fn neg(&mut self, a: &[Lit]) -> Result<Vec<Lit>, BlastError> {
+        let inverted = invert(a);
+        let zero = vec![LIT_FALSE; a.len()];
+        Ok(self.add(&inverted, &zero, LIT_TRUE)?.0)
+    }
+
+    /// Restoring divider: unsigned quotient and remainder, MSB first, one
+    /// trial subtraction per bit over an `n + 1`-bit remainder register (the
+    /// extra bit keeps the shift-in from overflowing).  The subtraction's
+    /// carry-out means "no borrow" and doubles as the quotient bit and the
+    /// keep/restore select.
+    ///
+    /// Division by zero needs no special casing: every trial subtraction
+    /// against zero succeeds, so the quotient comes out all-ones and the
+    /// remainder register re-accumulates the dividend — exactly
+    /// `cp_symexpr::eval`'s `x / 0 = MAX`, `x % 0 = x` semantics.
+    fn udivrem(&mut self, a: &[Lit], b: &[Lit]) -> Result<(Vec<Lit>, Vec<Lit>), BlastError> {
+        let n = a.len();
+        debug_assert_eq!(b.len(), n);
+        let mut b_ext = b.to_vec();
+        b_ext.push(LIT_FALSE);
+        let not_b = invert(&b_ext);
+        let mut r = vec![LIT_FALSE; n + 1];
+        let mut q = vec![LIT_FALSE; n];
+        for i in (0..n).rev() {
+            // r' = (r << 1) | a[i]; r < 2^n here, so bit n of r is always
+            // zero and dropping it cannot lose information.
+            let mut shifted = Vec::with_capacity(n + 1);
+            shifted.push(a[i]);
+            shifted.extend_from_slice(&r[..n]);
+            let (diff, no_borrow) = self.add(&shifted, &not_b, LIT_TRUE)?;
+            q[i] = no_borrow;
+            r = self.mux_vec(no_borrow, &diff, &shifted)?;
+        }
+        r.truncate(n);
+        Ok((q, r))
+    }
+
+    /// All four division/remainder variants on top of the restoring divider,
+    /// mirroring `cp_symexpr::eval_binop` bit for bit: signed variants
+    /// divide magnitudes and re-sign (quotient by `sign(a) ^ sign(b)`,
+    /// remainder by the dividend's sign, so `INT_MIN / -1` wraps back to
+    /// `INT_MIN` and `INT_MIN % -1` is zero), and signed division by zero is
+    /// muxed to all-ones (the unsigned variants and signed remainder get
+    /// their zero-divisor semantics from the divider structurally).
+    fn divrem(&mut self, op: BinOp, a: &[Lit], b: &[Lit]) -> Result<Vec<Lit>, BlastError> {
+        match op {
+            BinOp::DivU => Ok(self.udivrem(a, b)?.0),
+            BinOp::RemU => Ok(self.udivrem(a, b)?.1),
+            BinOp::DivS | BinOp::RemS => {
+                let n = a.len();
+                let (sa, sb) = (a[n - 1], b[n - 1]);
+                let neg_a = self.neg(a)?;
+                let abs_a = self.mux_vec(sa, &neg_a, a)?;
+                let neg_b = self.neg(b)?;
+                let abs_b = self.mux_vec(sb, &neg_b, b)?;
+                let (q, r) = self.udivrem(&abs_a, &abs_b)?;
+                if matches!(op, BinOp::RemS) {
+                    let neg_r = self.neg(&r)?;
+                    return self.mux_vec(sa, &neg_r, &r);
+                }
+                let neg_q = self.neg(&q)?;
+                let sign_diff = self.aig.xor(sa, sb)?;
+                let signed_q = self.mux_vec(sign_diff, &neg_q, &q)?;
+                let b_zero = negate(self.or_reduce(b)?);
+                let ones = vec![LIT_TRUE; n];
+                self.mux_vec(b_zero, &ones, &signed_q)
+            }
+            _ => unreachable!("divrem called on a non-division operator"),
+        }
     }
 
     /// Unsigned `a < b`: no carry out of `a + ¬b + 1`.
@@ -438,7 +651,7 @@ impl Blaster {
                     }
                     BinOp::Mul => self.mul(&a, &b)?,
                     BinOp::DivU | BinOp::DivS | BinOp::RemU | BinOp::RemS => {
-                        return Err(BlastError::Unsupported("division"));
+                        self.divrem(*op, &a, &b)?
                     }
                     BinOp::And => {
                         let mut out = Vec::with_capacity(ow);
@@ -499,28 +712,12 @@ fn decide_root(
     match sat.solve(limits.max_conflicts) {
         None => BlastOutcome::Abandoned("conflict budget"),
         Some(false) => BlastOutcome::Unsat,
-        Some(true) => {
-            let model = offsets
-                .iter()
-                .map(|&off| {
-                    let base = blaster.offset_var[&off];
-                    let mut byte = 0u8;
-                    for i in 0..8u32 {
-                        if sat.value(base + i) {
-                            byte |= 1 << i;
-                        }
-                    }
-                    (off, byte)
-                })
-                .collect();
-            BlastOutcome::Sat(model)
-        }
+        Some(true) => BlastOutcome::Sat(blaster.decode_model(&sat, offsets)),
     }
 }
 
-fn abandon_reason(error: BlastError) -> &'static str {
+pub(crate) fn abandon_reason(error: BlastError) -> &'static str {
     match error {
-        BlastError::Unsupported(why) => why,
         BlastError::GateBudget => "gate budget",
     }
 }
@@ -863,10 +1060,16 @@ impl QueryKey {
         memo_insert(self.key, CachedVerdict::Sat(bytes));
     }
 
+    /// The query's sorted support — the byte offsets cached models are
+    /// positional over.
+    pub(crate) fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
     /// Records a decision-procedure outcome; `Abandoned` never enters.
     /// `decide_root` emits models in `offsets` order, which *is* the
     /// positional order the circuit's input variables were allocated in.
-    fn record(&self, outcome: &BlastOutcome) {
+    pub(crate) fn record(&self, outcome: &BlastOutcome) {
         match outcome {
             BlastOutcome::Unsat => memo_insert(self.key, CachedVerdict::Unsat),
             BlastOutcome::Sat(model) => memo_insert(
@@ -890,20 +1093,7 @@ pub(crate) fn solve_equiv(
     query: &QueryKey,
 ) -> BlastOutcome {
     let mut blaster = Blaster::new(&query.offsets, limits.max_gates);
-    let build = |blaster: &mut Blaster| -> Result<Lit, BlastError> {
-        let va = blaster.blast(a)?;
-        let vb = blaster.blast(b)?;
-        let n = va.len().max(vb.len());
-        let va = resize_zero(&va, n);
-        let vb = resize_zero(&vb, n);
-        let mut diff = LIT_FALSE;
-        for (&x, &y) in va.iter().zip(&vb) {
-            let bit = blaster.aig.xor(x, y)?;
-            diff = blaster.aig.or(diff, bit)?;
-        }
-        Ok(diff)
-    };
-    match build(&mut blaster) {
+    match blaster.equiv_root(a, b) {
         Ok(root) => {
             let outcome = decide_root(&blaster, root, &query.offsets, limits);
             query.record(&outcome);
@@ -921,11 +1111,7 @@ pub(crate) fn solve_nonzero(
     query: &QueryKey,
 ) -> BlastOutcome {
     let mut blaster = Blaster::new(&query.offsets, limits.max_gates);
-    let build = |blaster: &mut Blaster| -> Result<Lit, BlastError> {
-        let bits = blaster.blast(expr)?;
-        blaster.or_reduce(&bits)
-    };
-    match build(&mut blaster) {
+    match blaster.nonzero_root(expr) {
         Ok(root) => {
             let outcome = decide_root(&blaster, root, &query.offsets, limits);
             query.record(&outcome);
@@ -978,6 +1164,21 @@ struct Clause {
     deleted: bool,
 }
 
+/// How one `solve_under_assumptions` call ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SolveResult {
+    /// Satisfiable under the assumptions; the model is readable via
+    /// [`Cdcl::value`] until the next call mutates the solver.
+    Sat,
+    /// Unsatisfiable under the assumptions.  `core` is the subset of the
+    /// assumption literals the final conflict actually used (empty when the
+    /// clause database is unsatisfiable on its own) — retracting any
+    /// superset of the core is guaranteed to change nothing.
+    Unsat { core: Vec<Lit> },
+    /// The conflict budget ran out before a verdict.
+    Budget,
+}
+
 /// A small conflict-driven clause-learning (CDCL) SAT solver: two watched
 /// literals, first-UIP conflict analysis with non-chronological backjumping,
 /// VSIDS-style variable activities, phase saving, activity-based clause
@@ -986,7 +1187,15 @@ struct Clause {
 /// plain DPLL re-derives the same carry-chain conflicts exponentially often
 /// — and reduction plus restarts are what keep the learned database and the
 /// search from degrading on miters in the 100k-gate range.
-struct Cdcl {
+///
+/// The solver is *incremental*: [`Cdcl::add_clause`] and [`Cdcl::ensure_vars`]
+/// grow the problem between [`Cdcl::solve_under_assumptions`] calls, and
+/// everything learned — clauses, activities, saved phases — survives into
+/// the next call.  Assumptions are enqueued as pseudo-decisions on the first
+/// decision levels, so retracting a query is simply not assuming its literal
+/// again; nothing learned depends on an assumption being true (learned
+/// clauses are implied by the clause database alone).
+pub(crate) struct Cdcl {
     /// Problem clauses followed by learned clauses.
     clauses: Vec<Clause>,
     /// Literal → indices of clauses watching it.
@@ -1064,7 +1273,7 @@ impl Ord for ActKey {
 }
 
 impl Cdcl {
-    fn new(n_vars: usize, clauses: Vec<Vec<Lit>>) -> Self {
+    pub(crate) fn new(n_vars: usize, clauses: Vec<Vec<Lit>>) -> Self {
         let mut sat = Cdcl {
             clauses: Vec::with_capacity(clauses.len()),
             watches: vec![Vec::new(); 2 * n_vars],
@@ -1119,6 +1328,47 @@ impl Cdcl {
         sat
     }
 
+    /// Grows the variable space to `n_vars` (no-op when already that large).
+    /// New variables start unassigned with zero activity.
+    pub(crate) fn ensure_vars(&mut self, n_vars: usize) {
+        if n_vars <= self.assign.len() {
+            return;
+        }
+        self.watches.resize(2 * n_vars, Vec::new());
+        self.assign.resize(n_vars, -1);
+        self.level.resize(n_vars, 0);
+        self.reason.resize(n_vars, None);
+        self.activity.resize(n_vars, 0.0);
+        self.phase.resize(n_vars, false);
+        self.seen.resize(n_vars, false);
+    }
+
+    /// Adds a permanent clause between solve calls, backtracking to the root
+    /// level first (assignments from a previous query's assumptions must not
+    /// leak into the clause's unit test).  Mirrors the constructor's
+    /// seeding: multi-literal clauses bump their variables' activities and
+    /// phases so the new variables become decidable.
+    pub(crate) fn add_clause(&mut self, clause: Vec<Lit>) {
+        self.backtrack(0);
+        match clause.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(clause[0], None) {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                for &lit in &clause {
+                    let v = var_of(lit) as usize;
+                    self.activity[v] += 1.0;
+                    self.phase[v] = lit & 1 != 0;
+                    self.heap.push((ActKey(self.activity[v]), var_of(lit)));
+                }
+                self.attach(clause, false);
+            }
+        }
+    }
+
     fn attach(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
         let idx = self.clauses.len() as u32;
         self.watches[lits[0] as usize].push(idx);
@@ -1148,7 +1398,7 @@ impl Cdcl {
         }
     }
 
-    fn value(&self, var: u32) -> bool {
+    pub(crate) fn value(&self, var: u32) -> bool {
         self.assign[var as usize] == 1
     }
 
@@ -1399,10 +1649,31 @@ impl Cdcl {
     /// `Some(false)` = unsatisfiable, `None` = conflict budget exceeded.
     ///
     /// [`value`]: Cdcl::value
-    fn solve(&mut self, max_conflicts: u64) -> Option<bool> {
-        if self.unsat {
-            return Some(false);
+    pub(crate) fn solve(&mut self, max_conflicts: u64) -> Option<bool> {
+        match self.solve_under_assumptions(&[], max_conflicts) {
+            SolveResult::Sat => Some(true),
+            SolveResult::Unsat { .. } => Some(false),
+            SolveResult::Budget => None,
         }
+    }
+
+    /// Runs the search with `assumptions` enqueued as pseudo-decisions on
+    /// the first decision levels (in order, one level each).  The conflict
+    /// budget is *per call* — a reused solver charges each query only its
+    /// own conflicts.
+    ///
+    /// Everything learned during the call is implied by the clause database
+    /// alone (assumptions enter as decisions, never as clauses), so it
+    /// soundly carries over to later calls under different assumptions.
+    pub(crate) fn solve_under_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+    ) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat { core: Vec::new() };
+        }
+        self.backtrack(0);
         /// Conflicts the first Luby interval allows before restarting.
         const RESTART_BASE: u64 = 128;
         let mut conflicts = 0u64;
@@ -1410,12 +1681,15 @@ impl Cdcl {
         loop {
             if let Some(conflict) = self.propagate() {
                 if self.current_level() == 0 {
-                    return Some(false);
+                    // Conflict below every assumption: the clause database
+                    // itself is unsatisfiable, permanently.
+                    self.unsat = true;
+                    return SolveResult::Unsat { core: Vec::new() };
                 }
                 conflicts += 1;
                 conflicts_since_restart += 1;
                 if conflicts > max_conflicts {
-                    return None;
+                    return SolveResult::Budget;
                 }
                 let (learned, backjump, lbd) = self.analyze(conflict);
                 self.backtrack(backjump);
@@ -1436,19 +1710,85 @@ impl Cdcl {
                 }
             } else if conflicts_since_restart >= luby(self.restarts + 1) * RESTART_BASE {
                 // Luby restart: abandon the current assignment prefix (phase
-                // saving and the learned clauses preserve the progress).
+                // saving and the learned clauses preserve the progress; the
+                // assumption levels are re-established by the branch below).
                 self.restarts += 1;
                 conflicts_since_restart = 0;
                 self.backtrack(0);
+            } else if (self.current_level() as usize) < assumptions.len() {
+                // (Re-)establish the next assumption as a pseudo-decision.
+                let lit = assumptions[self.current_level() as usize];
+                match Self::lit_val(&self.assign, lit) {
+                    1 => {
+                        // Already implied: push an empty level so assumption
+                        // `i` still owns decision level `i + 1`.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    0 => {
+                        let core = self.analyze_final(lit);
+                        return SolveResult::Unsat { core };
+                    }
+                    _ => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(lit, None);
+                        debug_assert!(ok, "assumption variable was unassigned");
+                    }
+                }
             } else {
                 let Some(decision) = self.decide() else {
-                    return Some(true);
+                    return SolveResult::Sat;
                 };
                 self.trail_lim.push(self.trail.len());
                 let ok = self.enqueue(decision, None);
                 debug_assert!(ok, "decision variable was unassigned");
             }
         }
+    }
+
+    /// Final-conflict analysis: called when assumption `failed` is already
+    /// false under the current (assumption-only) prefix.  Walks the trail
+    /// backwards from the first decision level, expanding reason clauses,
+    /// and collects the reason-less literals — while assumptions are still
+    /// being established those are exactly the assumption pseudo-decisions —
+    /// into the unsat core, which always includes `failed` itself.
+    fn analyze_final(&mut self, failed: Lit) -> Vec<Lit> {
+        let mut core = vec![failed];
+        let fv = var_of(failed) as usize;
+        if self.level[fv] == 0 || self.trail_lim.is_empty() {
+            // ¬failed holds at the root level: no assumptions involved.
+            return core;
+        }
+        self.seen[fv] = true;
+        for idx in (self.trail_lim[0]..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let v = var_of(lit) as usize;
+            if !self.seen[v] {
+                continue;
+            }
+            self.seen[v] = false;
+            match self.reason[v] {
+                None => {
+                    debug_assert!(self.level[v] > 0, "level-0 literals are never marked");
+                    // An assumption (for `failed`'s own variable this is the
+                    // complementary-assumptions case, and `lit` = ¬failed is
+                    // itself one of the assumptions).
+                    core.push(lit);
+                }
+                Some(ci) => {
+                    for qi in 0..self.clauses[ci as usize].lits.len() {
+                        let q = self.clauses[ci as usize].lits[qi];
+                        let qv = var_of(q) as usize;
+                        // The clause contains the literal it implied; marking
+                        // it again would leak scratch state past the walk.
+                        if qv != v && self.level[qv] > 0 {
+                            self.seen[qv] = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.seen[fv] = false;
+        core
     }
 }
 
@@ -1600,18 +1940,245 @@ mod tests {
     }
 
     #[test]
-    fn division_is_reported_unsupported() {
+    fn division_is_decided_by_the_divider_circuit() {
+        // x / 2 == x >> 1 for unsigned x: a real UNSAT proof over the
+        // restoring divider, not a fallback.
         let x = SymExpr::input_byte(0).zext(Width::W16);
-        let y = SymExpr::input_byte(1).zext(Width::W16);
-        let div = x.binop(BinOp::DivU, y);
+        let div2 = x.binop(BinOp::DivU, SymExpr::constant(Width::W16, 2));
+        let shr = x.binop(BinOp::ShrU, SymExpr::constant(Width::W16, 1));
+        assert_eq!(
+            check_equiv(&div2, &shr, &BlastLimits::default()),
+            BlastOutcome::Unsat
+        );
+        // …while x / 3 disagrees with x >> 1 somewhere, with a genuine
+        // witness.
+        let div3 = x.binop(BinOp::DivU, SymExpr::constant(Width::W16, 3));
+        match check_equiv(&div3, &shr, &BlastLimits::default()) {
+            BlastOutcome::Sat(witness) => assert_witness_disagrees(&div3, &shr, &witness),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_by_zero_matches_eval_semantics() {
+        // eval defines x / 0 = MAX and x % 0 = x; the divider must agree on
+        // every input.
+        let x = SymExpr::input_byte(0).zext(Width::W16);
+        let zero = SymExpr::constant(Width::W16, 0);
+        let div = x.binop(BinOp::DivU, zero);
         assert_eq!(
             check_equiv(
                 &div,
-                &div.binop(BinOp::Add, SymExpr::constant(Width::W16, 0)),
+                &SymExpr::constant(Width::W16, 0xFFFF),
                 &BlastLimits::default()
             ),
-            BlastOutcome::Abandoned("division")
+            BlastOutcome::Unsat
         );
+        let rem = x.binop(BinOp::RemU, zero);
+        assert_eq!(
+            check_equiv(&rem, &x, &BlastLimits::default()),
+            BlastOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn signed_division_by_minus_one_negates_including_int_min() {
+        // At 8 bits, x / -1 is two's-complement negation for *every* x:
+        // INT_MIN / -1 wraps back to INT_MIN exactly as Neg(INT_MIN) does.
+        let x = SymExpr::input_byte(0);
+        let div = x.binop(BinOp::DivS, SymExpr::constant(Width::W8, 0xFF));
+        let neg = x.unop(UnOp::Neg);
+        assert_eq!(
+            check_equiv(&div, &neg, &BlastLimits::default()),
+            BlastOutcome::Unsat
+        );
+    }
+
+    /// Evaluates a blasted bit vector under a concrete environment by
+    /// walking the AIG in variable order (topological by construction).
+    fn simulate(blaster: &Blaster, bits: &[Lit], env: &[u8]) -> u64 {
+        let n = blaster.aig.n_vars();
+        let mut input_of: Vec<Option<(usize, u32)>> = vec![None; n];
+        for (&off, &base) in &blaster.offset_var {
+            for i in 0..8u32 {
+                input_of[(base + i) as usize] = Some((off, i));
+            }
+        }
+        let lit_value = |values: &[bool], lit: Lit| values[var_of(lit) as usize] ^ (lit & 1 == 1);
+        let mut values = vec![false; n];
+        for v in 1..n {
+            values[v] = match blaster.aig.nodes[v - 1] {
+                None => {
+                    let (off, bit) = input_of[v].expect("input variable maps to an offset bit");
+                    (env[off] >> bit) & 1 == 1
+                }
+                Some((a, b)) => lit_value(&values, a) && lit_value(&values, b),
+            };
+        }
+        bits.iter().enumerate().fold(0u64, |acc, (i, &lit)| {
+            acc | (u64::from(lit_value(&values, lit)) << i)
+        })
+    }
+
+    #[test]
+    fn division_circuits_match_eval_on_a_seeded_sweep() {
+        // All four division variants at every width against the reference
+        // evaluator: forced corners (INT_MIN / -1, divide-by-zero, ±1
+        // divisors) plus a seeded random sweep, >10k samples in total.
+        let ops = [BinOp::DivU, BinOp::DivS, BinOp::RemU, BinOp::RemS];
+        let widths = [Width::W8, Width::W16, Width::W32, Width::W64];
+        let mut rng = 0xD1D0_5EEDu64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut checked = 0usize;
+        for &width in &widths {
+            let nbytes = width.bits() as usize / 8;
+            let offsets: Vec<usize> = (0..2 * nbytes).collect();
+            // Field folds most-significant-first, so byte 0 is the top byte.
+            let a = SymExpr::field("/a", width, (0..nbytes).collect());
+            let b = SymExpr::field("/b", width, (nbytes..2 * nbytes).collect());
+            for &op in &ops {
+                let expr = a.binop(op, b);
+                let mut blaster = Blaster::new(&offsets, 400_000);
+                let bits = blaster.blast(&expr).expect("division blasts within budget");
+                let mut cases: Vec<Vec<u8>> = Vec::new();
+                // INT_MIN / -1 (the signed wraparound), x / 0, INT_MIN / 1,
+                // -1 / -1, 0 / random.
+                let int_min = |bytes: &mut [u8]| bytes[0] = 0x80;
+                let mut case = vec![0u8; 2 * nbytes];
+                int_min(&mut case);
+                case[nbytes..].fill(0xFF);
+                cases.push(case.clone());
+                case[nbytes..].fill(0);
+                cases.push(case.clone()); // INT_MIN / 0
+                case[2 * nbytes - 1] = 1;
+                cases.push(case.clone()); // INT_MIN / 1
+                let mut case = vec![0xFFu8; 2 * nbytes];
+                cases.push(case.clone()); // -1 / -1
+                case[..nbytes].fill(0);
+                cases.push(case.clone()); // 0 / -1
+                while cases.len() < 640 {
+                    let mut case: Vec<u8> = (0..2 * nbytes).map(|_| next() as u8).collect();
+                    // Bias a slice of the sweep toward small divisors so
+                    // quotient carry chains get exercised, and toward zero
+                    // divisors so the guard path does.
+                    match cases.len() % 8 {
+                        0 => {
+                            case[nbytes..].fill(0);
+                            case[2 * nbytes - 1] = (next() % 5) as u8;
+                        }
+                        1 => case[nbytes..].fill(0),
+                        _ => {}
+                    }
+                    cases.push(case);
+                }
+                for case in &cases {
+                    let got = simulate(&blaster, &bits, case);
+                    let want = eval(&expr, &case[..]);
+                    assert_eq!(
+                        got, want,
+                        "{op:?} at {width:?} disagrees with eval on {case:?}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked >= 10_000, "sweep too small: {checked}");
+    }
+
+    #[test]
+    fn gate_budget_charges_each_query_only_its_own_gates() {
+        // Regression for cumulative budget accounting: on a reused graph the
+        // second query must not be charged for the first query's gates.
+        let x = SymExpr::input_byte(0).zext(Width::W16);
+        let y = SymExpr::input_byte(1).zext(Width::W16);
+        let sum = x.binop(BinOp::Add, y);
+        let prod = x.binop(BinOp::Mul, y);
+        // How many gates the product needs on its own.
+        let mut probe = Blaster::new(&[0, 1], usize::MAX);
+        probe.blast(&prod).expect("unbounded blast");
+        let prod_gates = probe.aig.gates;
+        // A shared graph whose budget fits exactly one product: after the
+        // adder query consumed part of the graph, the product query must
+        // still blast — `begin_query` resets the per-query floor.
+        let mut shared = Blaster::new(&[0, 1], prod_gates);
+        shared.begin_query();
+        shared.blast(&sum).expect("the adder fits the budget alone");
+        assert!(shared.aig.gates > 0);
+        shared.begin_query();
+        shared
+            .blast(&prod)
+            .expect("per-query budget: prior gates must not count");
+    }
+
+    #[test]
+    fn assumptions_solve_and_cores_stay_within_assumptions() {
+        let lit = |v: u32, neg: bool| (v << 1) | u32::from(neg);
+        // (a ∨ b) ∧ (¬a ∨ c): assuming ¬b forces a, which forces c.
+        let clauses = vec![
+            vec![lit(1, false), lit(2, false)],
+            vec![lit(1, true), lit(3, false)],
+        ];
+        let mut sat = Cdcl::new(4, clauses);
+        assert_eq!(sat.solve_under_assumptions(&[], 1000), SolveResult::Sat);
+        assert_eq!(
+            sat.solve_under_assumptions(&[lit(2, true)], 1000),
+            SolveResult::Sat
+        );
+        assert!(sat.value(1), "assuming ¬b must force a");
+        assert!(sat.value(3), "…which must force c");
+        // Contradictory assumptions: ¬b propagates c, conflicting with ¬c.
+        let assumptions = [lit(2, true), lit(3, true)];
+        let core = match sat.solve_under_assumptions(&assumptions, 1000) {
+            SolveResult::Unsat { core } => core,
+            other => panic!("expected Unsat, got {other:?}"),
+        };
+        assert!(!core.is_empty());
+        for l in &core {
+            assert!(
+                assumptions.contains(l),
+                "core must only name assumption literals: {core:?}"
+            );
+        }
+        // Retrying under the core alone still conflicts with a core no
+        // larger than the first (shrink-on-retry never grows).
+        match sat.solve_under_assumptions(&core, 1000) {
+            SolveResult::Unsat { core: again } => {
+                assert!(again.len() <= core.len());
+                assert!(again.iter().all(|l| core.contains(l)));
+            }
+            other => panic!("the core must still conflict, got {other:?}"),
+        }
+        // The solver state survives: satisfiable again once retracted.
+        assert_eq!(sat.solve_under_assumptions(&[], 1000), SolveResult::Sat);
+    }
+
+    #[test]
+    fn clauses_added_between_queries_constrain_later_ones() {
+        let lit = |v: u32, neg: bool| (v << 1) | u32::from(neg);
+        let mut sat = Cdcl::new(3, vec![vec![lit(1, false), lit(2, false)]]);
+        assert_eq!(
+            sat.solve_under_assumptions(&[lit(1, true)], 1000),
+            SolveResult::Sat
+        );
+        sat.add_clause(vec![lit(2, true), lit(1, false)]);
+        // Now a ∨ b and (¬b ∨ a) force a under assumption ¬a → unsat, and
+        // the core is the single assumption.
+        match sat.solve_under_assumptions(&[lit(1, true)], 1000) {
+            SolveResult::Unsat { core } => assert_eq!(core, vec![lit(1, true)]),
+            other => panic!("expected Unsat, got {other:?}"),
+        }
+        // A permanent empty-handed contradiction yields the empty core.
+        sat.add_clause(vec![lit(1, false)]);
+        sat.add_clause(vec![lit(1, true)]);
+        match sat.solve_under_assumptions(&[], 1000) {
+            SolveResult::Unsat { core } => assert!(core.is_empty()),
+            other => panic!("expected Unsat, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1768,12 +2335,29 @@ mod tests {
     }
 
     #[test]
-    fn nonzero_abandons_on_division() {
+    fn nonzero_decides_division_goals() {
         let x = SymExpr::input_byte(0).zext(Width::W16);
         let y = SymExpr::input_byte(1).zext(Width::W16);
+        // x / y can be nonzero (e.g. 2 / 1), and any witness must really
+        // make it so.
+        let quotient = x.binop(BinOp::DivU, y);
+        match check_nonzero(&quotient, &BlastLimits::default()) {
+            BlastOutcome::Sat(witness) => {
+                let mut env = [0u8; 2];
+                for &(off, byte) in &witness {
+                    env[off] = byte;
+                }
+                assert_ne!(eval(&quotient, &env[..]), 0, "bogus witness {witness:?}");
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+        // …but x % 2 never equals 3.
+        let two = SymExpr::constant(Width::W16, 2);
+        let three = SymExpr::constant(Width::W16, 3);
+        let impossible = x.binop(BinOp::RemU, two).binop(BinOp::Eq, three);
         assert_eq!(
-            check_nonzero(&x.binop(BinOp::DivU, y), &BlastLimits::default()),
-            BlastOutcome::Abandoned("division")
+            check_nonzero(&impossible, &BlastLimits::default()),
+            BlastOutcome::Unsat
         );
     }
 

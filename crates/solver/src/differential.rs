@@ -22,6 +22,7 @@
 //! re-associated operands (proofs that need the SAT miter) and near-miss
 //! mutations (refutations with needle witnesses).
 
+use crate::incremental::EquivSession;
 use crate::{Equivalence, SampleSolver, Solver};
 use cp_symexpr::rewrite::simplify;
 use cp_symexpr::{BinOp, ExprBuild, ExprRef, SymExpr, UnOp, Width};
@@ -202,24 +203,67 @@ impl DiffReport {
     }
 }
 
-/// Cross-checks `pairs` seeded expression pairs.
+/// The tightened per-pair budgets every cross-check mode runs under.
 ///
-/// The reference sampler deliberately uses a different seed and a larger
-/// budget than the solver's internal refutation pre-filter, so a `Proved`
-/// verdict is audited against environments the solver never looked at.
-pub fn cross_check(seed: u64, pairs: u64) -> DiffReport {
-    // Tighter budgets than `Solver::default()`: the harness cares about the
-    // *soundness* of verdicts across tens of thousands of pairs, so per-pair
-    // effort is capped — a hard pair becoming `Unknown` costs coverage, not
-    // correctness, and keeps the whole run inside a test-suite time budget.
-    let solver = Solver {
+/// Tighter than `Solver::default()`: the harness cares about the *soundness*
+/// of verdicts across tens of thousands of pairs, so per-pair effort is
+/// capped — a hard pair becoming `Unknown` costs coverage, not correctness,
+/// and keeps the whole run inside a test-suite time budget.
+fn harness_solver() -> Solver {
+    Solver {
         sampler: SampleSolver::with_samples(48),
         limits: crate::bitblast::BlastLimits {
             max_gates: 20_000,
             max_conflicts: 800,
         },
         exhaustive_budget: 1 << 12,
-    };
+    }
+}
+
+/// Cross-checks `pairs` seeded expression pairs against the one-shot solver.
+///
+/// The reference sampler deliberately uses a different seed and a larger
+/// budget than the solver's internal refutation pre-filter, so a `Proved`
+/// verdict is audited against environments the solver never looked at.
+pub fn cross_check(seed: u64, pairs: u64) -> DiffReport {
+    let solver = harness_solver();
+    cross_check_with(seed, pairs, |a, b| solver.equivalent(a, b))
+}
+
+/// Pairs one incremental session decides before the harness rolls a fresh
+/// one — the scale of a real consumer run (one translation's candidate list,
+/// one discovery frontier), and the bound on how much AIG/CNF/learned-clause
+/// state accumulates under a differential sweep.
+const SESSION_SPAN: u64 = 64;
+
+/// Cross-checks `pairs` seeded expression pairs against the *incremental*
+/// path: queries run on a shared [`EquivSession`] (rolled every
+/// [`SESSION_SPAN`] pairs), so verdicts are produced against a reused
+/// AIG/CNF/learned-clause context exactly as translation produces them.
+///
+/// Same generator streams and audits as [`cross_check`]: any unsound
+/// carry-over of state between queries shows up as a disagreement.
+pub fn cross_check_incremental(seed: u64, pairs: u64) -> DiffReport {
+    let solver = harness_solver();
+    let mut session = EquivSession::new(solver);
+    let mut decided = 0u64;
+    cross_check_with(seed, pairs, move |a, b| {
+        if decided == SESSION_SPAN {
+            session = EquivSession::new(solver);
+            decided = 0;
+        }
+        decided += 1;
+        session.equivalent(a, b)
+    })
+}
+
+/// The shared harness: builds the seeded pair stream, asks `decide` for a
+/// verdict, and audits every verdict against ground truth.
+fn cross_check_with(
+    seed: u64,
+    pairs: u64,
+    mut decide: impl FnMut(&ExprRef, &ExprRef) -> Equivalence,
+) -> DiffReport {
     let reference = SampleSolver {
         samples: 256,
         ..SampleSolver::with_seed(seed ^ 0xA5A5_A5A5_A5A5_A5A5)
@@ -237,7 +281,7 @@ pub fn cross_check(seed: u64, pairs: u64) -> DiffReport {
             _ => near_miss(&mut rng, 2),
         };
         report.pairs += 1;
-        match solver.equivalent(&a, &b) {
+        match decide(&a, &b) {
             Equivalence::Proved => {
                 report.proved += 1;
                 if let Equivalence::Refuted { witness } = reference.equivalent(&a, &b) {
@@ -282,6 +326,22 @@ mod tests {
         assert!(report.proved > 50, "too few proofs: {}", report.summary());
         assert!(
             report.refuted > 100,
+            "too few refutations: {}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn quick_incremental_cross_check_is_clean() {
+        // Spans several SESSION_SPAN rolls, so verdicts are audited both on
+        // fresh contexts and on contexts carrying dozens of queries of
+        // learned state.
+        let report = cross_check_incremental(0xD1FF, 200);
+        assert!(report.is_clean(), "{:?}", report.disagreements);
+        assert_eq!(report.pairs, 200);
+        assert!(report.proved > 25, "too few proofs: {}", report.summary());
+        assert!(
+            report.refuted > 50,
             "too few refutations: {}",
             report.summary()
         );

@@ -16,10 +16,17 @@
 //!   prove equality; and
 //! * a **real decision procedure** ([`Solver`]) that escalates from
 //!   structural equality through sampling to a bit-blasted SAT miter
-//!   ([`bitblast`]) and, for the operators the blaster does not encode, an
-//!   exhaustive enumeration of the (small) input support.  Its verdicts form
-//!   the three-point lattice [`Equivalence::Proved`] /
+//!   ([`bitblast`] — every operator including division, via a restoring
+//!   divider) and, when the circuit exceeds its gate budget, an exhaustive
+//!   enumeration of the (small) input support.  Its verdicts form the
+//!   three-point lattice [`Equivalence::Proved`] /
 //!   [`Equivalence::Refuted`] / [`Equivalence::Unknown`].
+//!
+//! Query *queues* over shared structure (translation proving many donor
+//! miters against one recipient cone, discovery re-solving one path prefix
+//! with a single constraint flipped) go through [`incremental`], which keeps
+//! one growing AIG + CNF + learned-clause DB alive across queries and decides
+//! each one under a per-query assumption set.
 //!
 //! The [`translate`] module uses [`Solver`] to map the `HachField` leaves of
 //! a donor check onto expressions the recipient itself computes, and
@@ -28,11 +35,12 @@
 
 pub mod bitblast;
 pub mod differential;
+pub mod incremental;
 pub mod translate;
 
 use bitblast::{key_equiv, key_nonzero, solve_equiv, solve_nonzero, BlastLimits, BlastOutcome};
 pub use bitblast::{memo_stats as solver_memo_stats, reset_memo as reset_solver_memo, MemoStats};
-use cp_symexpr::eval::eval;
+use cp_symexpr::eval::{eval, eval_batch};
 use cp_symexpr::rewrite::simplify;
 use cp_symexpr::ExprRef;
 
@@ -149,6 +157,85 @@ fn witness_disagrees(a: &ExprRef, b: &ExprRef, witness: &[(usize, u8)]) -> bool 
     eval(a, &lookup) != eval(b, &lookup)
 }
 
+/// A sparse byte model used as a sampling environment (absent offsets read
+/// zero) — the adapter between the sampler's `(offset, byte)` environments
+/// and [`cp_symexpr::eval::eval_batch`].
+struct SparseEnv(Vec<(usize, u8)>);
+
+impl cp_symexpr::eval::ByteEnv for SparseEnv {
+    fn byte(&self, offset: usize) -> u8 {
+        self.0
+            .iter()
+            .find(|(o, _)| *o == offset)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+}
+
+/// The sampler's deterministic environment stream, delivered in chunks so
+/// batch evaluation amortises the DAG walk without giving up the early exit
+/// on a refuting environment.
+///
+/// The stream is *identical* to the historical per-environment one — four
+/// boundary fills, then the seeded xorshift64* stream, each slot drawn in
+/// offset order — so witnesses (the first disagreeing environment) are
+/// bit-for-bit stable across the batching change.
+struct EnvStream {
+    offsets: Vec<usize>,
+    rng: u64,
+    remaining: u32,
+    boundary_done: bool,
+}
+
+/// Environments evaluated per [`eval_batch`] call: large enough to amortise
+/// the walk, small enough that an early witness wastes little evaluation.
+const SAMPLE_CHUNK: u32 = 32;
+
+impl EnvStream {
+    fn new(offsets: &[usize], seed: u64, samples: u32) -> Self {
+        EnvStream {
+            offsets: offsets.to_vec(),
+            rng: seed | 1,
+            remaining: samples,
+            boundary_done: false,
+        }
+    }
+
+    fn next_chunk(&mut self) -> Option<Vec<SparseEnv>> {
+        if !self.boundary_done {
+            self.boundary_done = true;
+            return Some(
+                [0x00u8, 0xFF, 0x80, 0x01]
+                    .iter()
+                    .map(|&fill| SparseEnv(self.offsets.iter().map(|&o| (o, fill)).collect()))
+                    .collect(),
+            );
+        }
+        if self.remaining == 0 {
+            return None;
+        }
+        let take = self.remaining.min(SAMPLE_CHUNK);
+        self.remaining -= take;
+        let chunk = (0..take)
+            .map(|_| {
+                SparseEnv(
+                    self.offsets
+                        .iter()
+                        .map(|&o| {
+                            self.rng ^= self.rng << 13;
+                            self.rng ^= self.rng >> 7;
+                            self.rng ^= self.rng << 17;
+                            let byte = (self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8;
+                            (o, byte)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Some(chunk)
+    }
+}
+
 /// A sampling-based refutation engine for equivalence queries.
 #[derive(Debug, Clone, Copy)]
 pub struct SampleSolver {
@@ -194,27 +281,24 @@ impl SampleSolver {
     /// before the pseudo-random stream starts.  Pairs that depend on no
     /// input byte at all are decided by a single evaluation, so the verdict
     /// is `Proved` rather than `Unknown` for them.
+    ///
+    /// Environments are evaluated in batches over the shared expression DAG
+    /// ([`eval_batch`]): each distinct node is visited once per chunk
+    /// instead of once per environment, and the returned witness — the
+    /// first environment in stream order on which the pair disagrees — is
+    /// identical to what per-environment evaluation produced.
     pub fn equivalent(&self, a: &ExprRef, b: &ExprRef) -> Equivalence {
         let mut offsets: Vec<usize> = a.support().iter().chain(b.support().iter()).collect();
         offsets.sort_unstable();
         offsets.dedup();
 
-        let mut env: Vec<(usize, u8)> = offsets.iter().map(|&o| (o, 0)).collect();
-        let check = |env: &[(usize, u8)]| -> Option<Equivalence> {
-            if witness_disagrees(a, b, env) {
-                Some(Equivalence::Refuted {
-                    witness: env.to_vec(),
-                })
-            } else {
-                None
-            }
-        };
-
         if offsets.is_empty() {
             // Input-independent: one evaluation decides the query outright.
-            return match check(&env) {
-                Some(refuted) => refuted,
-                None => Equivalence::Proved,
+            let env: Vec<(usize, u8)> = Vec::new();
+            return if witness_disagrees(a, b, &env) {
+                Equivalence::Refuted { witness: env }
+            } else {
+                Equivalence::Proved
             };
         }
         if self.samples == 0 {
@@ -223,27 +307,13 @@ impl SampleSolver {
             return Equivalence::Unknown;
         }
 
-        // Boundary environments first.
-        for fill in [0x00u8, 0xFF, 0x80, 0x01] {
-            for slot in env.iter_mut() {
-                slot.1 = fill;
-            }
-            if let Some(refuted) = check(&env) {
-                return refuted;
-            }
-        }
-
-        // Deterministic pseudo-random stream (xorshift64*).
-        let mut rng = self.seed | 1;
-        for _ in 0..self.samples {
-            for slot in env.iter_mut() {
-                rng ^= rng << 13;
-                rng ^= rng >> 7;
-                rng ^= rng << 17;
-                slot.1 = (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8;
-            }
-            if let Some(refuted) = check(&env) {
-                return refuted;
+        let mut stream = EnvStream::new(&offsets, self.seed, self.samples);
+        while let Some(chunk) = stream.next_chunk() {
+            let va = eval_batch(a, &chunk);
+            let vb = eval_batch(b, &chunk);
+            if let Some(i) = va.iter().zip(&vb).position(|(x, y)| x != y) {
+                let witness = chunk.into_iter().nth(i).expect("index within chunk").0;
+                return Equivalence::Refuted { witness };
             }
         }
         Equivalence::Unknown
@@ -255,36 +325,26 @@ impl SampleSolver {
     /// [`equivalent`](Self::equivalent): boundary fills first (all-zeros,
     /// all-ones, sign-bit, one), then the seeded pseudo-random stream.
     /// Sampling can only ever *find* a model, never refute satisfiability.
+    ///
+    /// Like [`equivalent`](Self::equivalent), environments are evaluated in
+    /// batches over the shared DAG; the returned model is the first
+    /// satisfying environment in stream order.
     pub fn find_model(&self, expr: &ExprRef) -> Option<Vec<(usize, u8)>> {
         let offsets: Vec<usize> = expr.support().iter().collect();
-        let mut env: Vec<(usize, u8)> = offsets.iter().map(|&o| (o, 0)).collect();
-        let sat = |env: &[(usize, u8)]| eval_model(expr, env) != 0;
 
         if offsets.is_empty() {
-            return sat(&env).then_some(env);
+            let env: Vec<(usize, u8)> = Vec::new();
+            return (eval_model(expr, &env) != 0).then_some(env);
         }
         if self.samples == 0 {
             // Zero budget disables the hunt (see [`SolverBudgets::starved`]).
             return None;
         }
-        for fill in [0x00u8, 0xFF, 0x80, 0x01] {
-            for slot in env.iter_mut() {
-                slot.1 = fill;
-            }
-            if sat(&env) {
-                return Some(env);
-            }
-        }
-        let mut rng = self.seed | 1;
-        for _ in 0..self.samples {
-            for slot in env.iter_mut() {
-                rng ^= rng << 13;
-                rng ^= rng >> 7;
-                rng ^= rng << 17;
-                slot.1 = (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8;
-            }
-            if sat(&env) {
-                return Some(env);
+        let mut stream = EnvStream::new(&offsets, self.seed, self.samples);
+        while let Some(chunk) = stream.next_chunk() {
+            let values = eval_batch(expr, &chunk);
+            if let Some(i) = values.iter().position(|&v| v != 0) {
+                return Some(chunk.into_iter().nth(i).expect("index within chunk").0);
             }
         }
         None
@@ -306,8 +366,8 @@ impl SampleSolver {
 ///    (found witnesses are recorded into the memo);
 /// 4. **bit-blast** — the miter goes through CDCL: `Unsat` is a proof, a
 ///    model is a (re-validated) witness; definitive verdicts are memoized;
-/// 5. **exhaustive enumeration** — when the blaster abandons (symbolic
-///    division, budget) and the union support is small enough that every
+/// 5. **exhaustive enumeration** — when the blaster abandons (gate or
+///    conflict budget) and the union support is small enough that every
 ///    byte environment fits in [`Solver::exhaustive_budget`] evaluations,
 ///    enumeration decides the query exactly;
 /// 6. otherwise **Unknown**.
@@ -676,6 +736,25 @@ mod tests {
     }
 
     #[test]
+    fn batched_sampling_preserves_the_witness_stream() {
+        // The witness is the *first* disagreeing environment in stream
+        // order, regardless of how the stream is chunked for batch
+        // evaluation: x ≠ x+1 everywhere, so the all-zeros boundary fill
+        // wins; x itself is zero there, so the first model for x is the
+        // all-ones fill that follows it.
+        let x = SymExpr::input_byte(4).zext(Width::W32);
+        let plus = x.binop(BinOp::Add, SymExpr::constant(Width::W32, 1));
+        match SampleSolver::default().equivalent(&x, &plus) {
+            Equivalence::Refuted { witness } => assert_eq!(witness, vec![(4, 0)]),
+            other => panic!("expected refutation, got {other:?}"),
+        }
+        assert_eq!(
+            SampleSolver::default().find_model(&x),
+            Some(vec![(4, 0xFF)])
+        );
+    }
+
+    #[test]
     fn sampler_proves_input_independent_pairs() {
         let a =
             SymExpr::constant(Width::W32, 6).binop(BinOp::Mul, SymExpr::constant(Width::W32, 7));
@@ -697,9 +776,9 @@ mod tests {
     }
 
     #[test]
-    fn solver_decides_division_by_exhaustive_enumeration() {
-        // The blaster abandons on symbolic division; one support byte means
-        // 256 environments decide it exactly.
+    fn solver_decides_division_circuits() {
+        // Division blasts through the restoring divider now — no exhaustive
+        // fallback, and no Unknown.
         let x = SymExpr::input_byte(0).zext(Width::W16);
         let halved = x.binop(BinOp::DivU, SymExpr::constant(Width::W16, 2));
         let shifted = x.binop(BinOp::ShrU, SymExpr::constant(Width::W16, 1));
@@ -725,21 +804,23 @@ mod tests {
 
     #[test]
     fn unknown_when_every_stage_is_exhausted() {
-        // An equivalent pair (addition commutes) that sampling cannot refute,
-        // the blaster abandons (symbolic division) and the six-byte support
-        // puts beyond the exhaustive budget.
+        // An equivalent pair (multiplication reassociates) that sampling
+        // cannot refute, that is too large to blast under a starved gate
+        // budget, and whose three-byte support exceeds the exhaustive
+        // budget: every rung of the ladder runs dry.
         let byte = |i: usize| SymExpr::input_byte(i).zext(Width::W64);
-        let mut divisor = SymExpr::constant(Width::W64, 1);
-        for i in 2..6 {
-            divisor = divisor.binop(BinOp::Add, byte(i));
-        }
         let a = byte(0)
-            .binop(BinOp::Add, byte(1))
-            .binop(BinOp::DivU, divisor);
-        let b = byte(1)
-            .binop(BinOp::Add, byte(0))
-            .binop(BinOp::DivU, divisor);
-        assert_eq!(Solver::default().equivalent(&a, &b), Equivalence::Unknown);
+            .binop(BinOp::Mul, byte(1))
+            .binop(BinOp::Mul, byte(2));
+        let b = byte(2).binop(BinOp::Mul, byte(1).binop(BinOp::Mul, byte(0)));
+        let solver = Solver {
+            limits: BlastLimits {
+                max_gates: 100,
+                ..BlastLimits::default()
+            },
+            ..Solver::default()
+        };
+        assert_eq!(solver.equivalent(&a, &b), Equivalence::Unknown);
     }
 
     #[test]
@@ -779,9 +860,9 @@ mod tests {
     }
 
     #[test]
-    fn solve_handles_division_via_fallbacks() {
-        // x / 2 == 7 cannot blast; sampling or the exhaustive stage must
-        // still produce a model (x in 14..=15).
+    fn solve_decides_division_goals() {
+        // x / 2 == 7 blasts through the divider circuit; some stage must
+        // produce a model (x in 14..=15).
         let x = SymExpr::input_byte(0).zext(Width::W16);
         let goal = x
             .binop(BinOp::DivU, SymExpr::constant(Width::W16, 2))
@@ -793,7 +874,7 @@ mod tests {
             }
             other => panic!("expected Sat, got {other:?}"),
         }
-        // x / 2 == 200 is unsatisfiable over one byte: exhaustive proves it.
+        // x / 2 == 200 is unsatisfiable over one byte: CDCL proves it.
         let bad = x
             .binop(BinOp::DivU, SymExpr::constant(Width::W16, 2))
             .binop(BinOp::Eq, SymExpr::constant(Width::W16, 200));

@@ -12,13 +12,18 @@
 //! recipient's [`Candidate`] expressions, prunes candidates whose input
 //! support is disjoint from the field's bytes (the
 //! [`disjoint_support`](crate::disjoint_support) fast path — most pairs die
-//! here without a solver call), and asks the [`Solver`] to prove value
-//! equivalence for the survivors.  Only a [`Equivalence::Proved`] verdict
-//! binds a field; `Unknown` is never good enough to rewrite a check that
-//! will guard a recipient in production.  The bound replacements are then
-//! substituted into the donor condition, width-adjusted so the surrounding
-//! operators still type-check, and the result simplified.
+//! here without a solver call), and proves value equivalence for the
+//! survivors.  All of one translation's queries run on a single
+//! [`EquivSession`]: every miter shares the recipient cone, so the session
+//! bit-blasts it once and decides each field/candidate pair under an
+//! assumption against the same learned-clause database.  Only a
+//! [`Equivalence::Proved`] verdict binds a field; `Unknown` is never good
+//! enough to rewrite a check that will guard a recipient in production.  The
+//! bound replacements are then substituted into the donor condition,
+//! width-adjusted so the surrounding operators still type-check, and the
+//! result simplified.
 
+use crate::incremental::EquivSession;
 use crate::{disjoint_support, Equivalence, Solver};
 use cp_symexpr::rewrite::simplify;
 use cp_symexpr::{walk, ExprBuild, ExprRef, SymExpr, Width};
@@ -272,6 +277,9 @@ impl Translator {
         };
         let mut bindings = Vec::with_capacity(fields.len());
         let mut map: HashMap<usize, ExprRef> = HashMap::new();
+        // One incremental context for the whole check: every miter shares
+        // the recipient-side cones, each query is one assumption.
+        let mut session = EquivSession::new(self.solver);
         for field in &fields {
             let (path, width) = field_parts(field);
             let mut bound = None;
@@ -282,7 +290,7 @@ impl Translator {
                     continue;
                 }
                 stats.solver_calls += 1;
-                match self.solver.equivalent(field, &candidate.expr) {
+                match session.equivalent(field, &candidate.expr) {
                     Equivalence::Proved => {
                         stats.proved += 1;
                         bound = Some(make_binding(&path, width, index, candidate));
@@ -340,6 +348,7 @@ impl Translator {
             ..TranslateStats::default()
         };
         let mut out = Vec::with_capacity(fields.len());
+        let mut session = EquivSession::new(self.solver);
         for field in &fields {
             let (path, width) = field_parts(field);
             let mut proved = Vec::new();
@@ -350,7 +359,7 @@ impl Translator {
                     continue;
                 }
                 stats.solver_calls += 1;
-                match self.solver.equivalent(field, &candidate.expr) {
+                match session.equivalent(field, &candidate.expr) {
                     Equivalence::Proved => {
                         stats.proved += 1;
                         proved.push(make_binding(&path, width, index, candidate));
